@@ -1,0 +1,73 @@
+"""A1 — ablation: context-switch cost (pCore's multiset context switch).
+
+pCore's design (the paper's reference [9], "Enhancing microkernel
+performance on VLIW DSP processors via multiset context switch") exists
+to make context switches cheap.  This bench shows why that matters for
+pTest-style stress loads: pipeline completion time versus per-switch
+cost on the IPC pipeline, whose throughput is context-switch bound.
+The benchmark times a zero-cost pipeline run.
+"""
+
+from __future__ import annotations
+
+from repro.pcore.kernel import KernelConfig, PCoreKernel
+from repro.sim.memory import SharedMemory
+from repro.workloads.pipeline import build_pipeline, run_pipeline_to_completion
+
+from conftest import format_table
+
+COSTS = (0, 1, 2, 4, 8, 16)
+
+
+def _run(cost: int, stages: int = 3, count: int = 32) -> tuple[int, int]:
+    kernel = PCoreKernel(
+        config=KernelConfig(context_switch_cost=cost),
+        shared_memory=SharedMemory(size=16 * 1024),
+    )
+    build_pipeline(kernel, stages=stages, count=count)
+    ticks = run_pipeline_to_completion(kernel)
+    return ticks, kernel.context_switches
+
+
+def test_context_switch_ablation(benchmark, emit):
+    rows = []
+    baseline = None
+    for cost in COSTS:
+        ticks, switches = _run(cost)
+        if baseline is None:
+            baseline = ticks
+        rows.append(
+            (
+                cost,
+                ticks,
+                switches,
+                f"{ticks / baseline:.2f}x",
+                f"{(ticks - baseline) / max(switches, 1):.1f}",
+            )
+        )
+
+    text = (
+        "3-stage IPC pipeline, 32 items, capacity-2 queues:\n"
+        + format_table(
+            [
+                "switch cost (steps)",
+                "completion ticks",
+                "switches",
+                "slowdown",
+                "overhead/switch",
+            ],
+            rows,
+        )
+        + "\n\nshape: the schedule (switch count) is invariant; completion"
+        + "\ntime grows linearly with per-switch cost — quantifying why"
+        + "\npCore's multiset context switch (paper ref. [9]) targets"
+        + "\nexactly this constant."
+    )
+    emit("A1_context_switch", text)
+
+    ticks_by_cost = {row[0]: row[1] for row in rows}
+    assert ticks_by_cost[16] > ticks_by_cost[0] * 3
+    switch_counts = {row[2] for row in rows}
+    assert len(switch_counts) == 1  # same schedule across costs
+
+    benchmark(lambda: _run(0))

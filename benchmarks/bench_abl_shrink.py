@@ -1,0 +1,94 @@
+"""A3 — ablation: bug-report minimization (pattern shrinking).
+
+The paper's detector "dumps the related information to help users
+reproduce the bugs"; the shrinker (ddmin over per-pair pattern
+suffixes) takes that further: it reduces a failing merged pattern to a
+1-minimal failing core.  This bench pads the philosophers deadlock
+pattern to several lengths and reports the reduction and replay cost.
+The benchmark times one full shrink session.
+"""
+
+from __future__ import annotations
+
+from repro.ptest.detector import AnomalyKind
+from repro.ptest.generator import PatternGenerator
+from repro.ptest.harness import AdaptiveTest
+from repro.ptest.merger import PatternMerger
+from repro.ptest.shrink import PatternShrinker
+from repro.workloads.scenarios import lifecycle_pfa, philosophers_case2
+
+from conftest import format_table
+
+
+def _padded_merge(extra_cycles: int, seed: int = 0):
+    symbols = ("TC",) + ("TS", "TR") * (1 + extra_cycles)
+    generator = PatternGenerator.from_pfa(lifecycle_pfa(symbols), seed=seed)
+    patterns = generator.generate_batch(3, len(symbols))
+    return PatternMerger(op="cyclic", chunk=2, seed=seed).merge(patterns)
+
+
+def _shrink(extra_cycles: int):
+    scenario = philosophers_case2(seed=0)
+    merged = _padded_merge(extra_cycles)
+    # The padded pattern must fail before shrinking means anything.
+    result = AdaptiveTest(
+        config=scenario.config,
+        programs=dict(scenario.programs),
+        merged_override=merged,
+    ).run()
+    assert result.found_bug
+    shrinker = PatternShrinker(
+        config=scenario.config,
+        programs=dict(scenario.programs),
+        target=AnomalyKind.DEADLOCK,
+    )
+    return shrinker.shrink(merged)
+
+
+def test_shrink_ablation(benchmark, emit):
+    rows = []
+    outcomes = []
+    for extra_cycles in (0, 2, 4, 8):
+        outcome = _shrink(extra_cycles)
+        outcomes.append(outcome)
+        pattern_text = " ".join(c.symbol for c in outcome.shrunk.commands)
+        if len(pattern_text) > 40:
+            pattern_text = pattern_text[:37] + "..."
+        rows.append(
+            (
+                outcome.original_length,
+                outcome.shrunk_length,
+                f"{100 * outcome.reduction:.0f}%",
+                outcome.runs_executed,
+                pattern_text,
+            )
+        )
+
+    text = (
+        "shrinking padded philosophers deadlock patterns (3 pairs):\n"
+        + format_table(
+            [
+                "original cmds",
+                "minimal cmds",
+                "reduction",
+                "replays",
+                "minimal pattern",
+            ],
+            rows,
+        )
+        + "\n\nfinding: for the unpadded pattern the 1-minimal trigger is"
+        + "\njust the three TC commands — creating the three philosophers"
+        + "\nis enough, because each creation preempts the previous one"
+        + "\ninside its first-fork hold window.  The shrinker discovered"
+        + "\nwhat the manual analysis of test case 2 assumed needed"
+        + "\nTS/TR forcing.  Heavier padding can settle in larger ddmin"
+        + "\nlocal minima (suffix-truncation is the only operator), but"
+        + "\nthe reduction stays >=50%."
+    )
+    emit("A3_shrink", text)
+
+    assert outcomes[0].shrunk_length == 3  # the pure-TC minimal core
+    for outcome in outcomes[1:]:
+        assert outcome.reduction >= 0.5
+
+    benchmark.pedantic(lambda: _shrink(2), rounds=2, iterations=1)

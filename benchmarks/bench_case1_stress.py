@@ -1,0 +1,62 @@
+"""E5 — Test case 1: stress test, 16 quicksort tasks, GC crash.
+
+Regenerates the paper's first fault-discovery study: with the buggy
+garbage collector the create/delete churn leaks mid-flight kills until
+task_create fails and pCore panics; with the fixed collector the same
+churn runs clean.  Reports time-to-detection across seeds plus leak
+accounting.  The benchmark times one full crash-finding run.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.ptest.detector import AnomalyKind
+from repro.workloads.scenarios import stress_case1
+
+from conftest import format_table
+
+SEEDS = range(5)
+
+
+def test_case1_stress(benchmark, emit):
+    rows = []
+    detection_ticks = []
+    for seed in SEEDS:
+        result = stress_case1(seed=seed).run()
+        assert result.found_bug, f"seed {seed}: crash not found"
+        anomaly = result.report.primary
+        assert anomaly.kind is AnomalyKind.CRASH
+        detection_ticks.append(anomaly.detected_at)
+        rows.append(
+            (
+                seed,
+                anomaly.detected_at,
+                result.rounds,
+                result.commands_issued,
+                result.report.kernel_panic.split("(")[-1].rstrip(")"),
+            )
+        )
+
+    control = stress_case1(seed=0, buggy_gc=False, max_ticks=30_000).run()
+    assert not control.found_bug
+
+    text = (
+        "buggy GC (paper's pCore): crash found on every seed\n"
+        + format_table(
+            ["seed", "detect tick", "rounds", "commands", "leak accounting"],
+            rows,
+        )
+        + f"\n\nmean time-to-detection: "
+        + f"{statistics.mean(detection_ticks):.0f} ticks "
+        + f"(stdev {statistics.pstdev(detection_ticks):.0f})"
+        + "\n\ncontrol (fixed GC, same churn): "
+        + f"{control.summary()} — no crash"
+        + "\n\nshape vs paper: pTest's churn finds the GC crash during the"
+        + "\nfirst stress period on every seed; the fix eliminates it."
+    )
+    emit("E5_case1_stress", text)
+
+    benchmark.pedantic(
+        lambda: stress_case1(seed=0).run(), rounds=3, iterations=1
+    )

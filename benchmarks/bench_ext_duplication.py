@@ -1,0 +1,86 @@
+"""E9 — future work: replicated test patterns reduce effectiveness.
+
+The paper: "pTest currently does not consider the problems of that the
+replicated test patterns can reduce the effectiveness of pTest."  This
+bench quantifies the replication: duplication rate of generated batches
+as n and s grow, compared against the analytic expectation from the
+PFA's word distribution, plus the coverage a deduplicated batch retains.
+The benchmark times duplication analysis of a large batch.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.coverage import pattern_transition_coverage
+from repro.analysis.metrics import duplication_rate, unique_pattern_fraction
+from repro.ptest.generator import PatternGenerator
+from repro.ptest.pcore_model import pcore_pfa
+
+from conftest import format_table
+
+
+def _batch(count: int, size: int, seed: int = 0):
+    generator = PatternGenerator.from_pfa(pcore_pfa(), seed=seed)
+    return [pattern.symbols for pattern in generator.generate_batch(count, size)]
+
+
+def test_pattern_duplication(benchmark, emit):
+    pfa = pcore_pfa()
+    rows = []
+    for count in (4, 16, 64, 256):
+        for size in (3, 6, 12):
+            batch = _batch(count, size)
+            deduped = list({tuple(p) for p in batch})
+            full_cov = pattern_transition_coverage(pfa, batch).fraction
+            dedup_cov = pattern_transition_coverage(pfa, deduped).fraction
+            rows.append(
+                (
+                    count,
+                    size,
+                    f"{100 * duplication_rate(batch):.0f}%",
+                    len(deduped),
+                    f"{100 * full_cov:.0f}%",
+                    f"{100 * dedup_cov:.0f}%",
+                )
+            )
+
+    # Analytic explanation: how many distinct lifecycles even exist per
+    # length (path counting over the automaton).
+    from repro.automata.operations import count_words_by_length, pfa_support_dfa
+
+    counts = count_words_by_length(pfa_support_dfa(pfa), 12)
+    count_rows = [(length, counts[length]) for length in range(2, 13)]
+
+    text = (
+        "distinct lifecycles that exist, by length (path counting):\n"
+        + format_table(["length", "distinct words"], count_rows)
+        + "\n\npattern replication in generated batches (pCore PFA, Fig. 5 PD):\n"
+        + format_table(
+            [
+                "n (batch)",
+                "s (size)",
+                "duplicates",
+                "distinct",
+                "coverage",
+                "coverage after dedup",
+            ],
+            rows,
+        )
+        + "\n\nshape: short patterns replicate heavily (few short lifecycle"
+        + "\nwords exist, and high-probability ones repeat); dedup keeps"
+        + "\ncoverage identical while shrinking the command budget — the"
+        + "\neffectiveness the paper's future work worries about."
+    )
+    emit("E9_pattern_duplication", text)
+
+    short = duplication_rate(_batch(64, 3))
+    long = duplication_rate(_batch(64, 12))
+    assert short > long  # shorter patterns replicate more
+
+    big = _batch(256, 8)
+
+    def analyse():
+        duplication_rate(big)
+        unique_pattern_fraction(big)
+        pattern_transition_coverage(pfa, big)
+
+    benchmark(analyse)

@@ -1,0 +1,81 @@
+"""E13 — communication infrastructure: mailbox depth and backpressure.
+
+Section II-B: the master-slave systems exchange messages over the
+OMAP's hardware mailboxes, whose FIFO depth bounds in-flight commands.
+With the master core running faster than the slave's one-command-per-
+step service rate (``master_steps_per_tick=4``, fire-and-forget), the
+command FIFO saturates: end-to-end throughput stays slave-bound (as
+queueing theory demands), while the *rejection count* — master issue
+attempts bounced by a full FIFO — falls as the FIFO deepens.  The
+benchmark times a depth-4 run.
+"""
+
+from __future__ import annotations
+
+from repro.ptest.config import PTestConfig
+from repro.ptest.harness import run_adaptive_test
+
+from conftest import format_table
+
+CAPACITIES = (1, 2, 4, 8, 16)
+
+
+def _config(capacity: int) -> PTestConfig:
+    return PTestConfig(
+        pattern_count=8,
+        pattern_size=8,
+        op="round_robin",
+        seed=5,
+        max_ticks=30_000,
+        lockstep=False,  # fire-and-forget exposes the FIFO bound
+        mailbox_capacity=capacity,
+        master_steps_per_tick=4,  # the master outruns the slave
+    )
+
+
+def test_mailbox_capacity_sweep(benchmark, emit):
+    rows = []
+    stalls_by_capacity = {}
+    ticks_by_capacity = {}
+    for capacity in CAPACITIES:
+        result = run_adaptive_test(_config(capacity))
+        assert not result.found_bug
+        stalls_by_capacity[capacity] = result.command_stalls
+        ticks_by_capacity[capacity] = result.ticks
+        rows.append(
+            (
+                capacity,
+                result.commands_issued,
+                result.command_stalls,
+                result.ticks,
+                f"{result.commands_issued / result.ticks:.3f}",
+            )
+        )
+
+    text = (
+        "fire-and-forget stress, master 4x slave speed (8 pairs, s=8):\n"
+        + format_table(
+            [
+                "mailbox depth",
+                "commands",
+                "rejected posts",
+                "ticks",
+                "commands/tick",
+            ],
+            rows,
+        )
+        + "\n\nshape: throughput is pinned at the slave's service rate"
+        + "\nregardless of depth (Little's law); what the FIFO depth buys"
+        + "\nis fewer rejected posts — wasted master cycles spent"
+        + "\nretrying — which is why the bridge wants the hardware FIFO"
+        + "\nplus a small software inbox rather than depth-1 signalling."
+    )
+    emit("E13_mailbox_capacity", text)
+
+    assert stalls_by_capacity[1] > stalls_by_capacity[16]
+    # Completion time is service-bound: within 20% across depths.
+    assert max(ticks_by_capacity.values()) < min(ticks_by_capacity.values()) * 1.2
+
+    benchmark.pedantic(
+        lambda: run_adaptive_test(_config(4)), rounds=3, iterations=1
+    )

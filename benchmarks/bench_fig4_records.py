@@ -1,0 +1,70 @@
+"""E7 — Fig. 4: the state-recording expression (Definition 2).
+
+Drives a two-pair run to a mid-pattern point and prints the CP records
+in the paper's exact notation ``CPi = (qm, qs, TP, SN, deltaS)``,
+verifying each field's semantics.  The benchmark times record
+snapshotting during a live run.
+"""
+
+from __future__ import annotations
+
+from repro.pcore.tcb import TaskState
+from repro.ptest.patterns import TestPattern
+from repro.ptest.recording import ProcessStateRecorder
+
+from conftest import format_table
+
+
+def _drive_recorder() -> ProcessStateRecorder:
+    recorder = ProcessStateRecorder()
+    recorder.register_pair(TestPattern(pattern_id=1, symbols=("p1", "p2", "p3")))
+    recorder.register_pair(TestPattern(pattern_id=2, symbols=("p2", "p1", "p3")))
+    # Pair 1: two commands issued; slave suspended (like Fig. 4's CP1).
+    recorder.note_issue(1, "m2")
+    recorder.note_issue(1, "m2")
+    recorder.note_slave_state(1, "s1")
+    # Pair 2: one command issued; slave running (like CP2).
+    recorder.note_issue(2, "m3")
+    recorder.note_slave_state(2, "s2")
+    return recorder
+
+
+def test_fig4_state_records(benchmark, emit):
+    recorder = _drive_recorder()
+    records = recorder.snapshot()
+
+    rows = [
+        (
+            f"CP{record.pair_id}",
+            record.master_state,
+            record.slave_state,
+            "->".join(record.pattern),
+            record.sequence_number,
+            "->".join(record.remaining) or "(done)",
+        )
+        for record in records
+    ]
+    rendered = "\n".join(record.describe() for record in records)
+    text = (
+        "Definition 2 five-tuples (qm, qs, TP, SN, deltaS):\n"
+        + format_table(
+            ["record", "qm", "qs", "TP", "SN", "deltaS"], rows
+        )
+        + "\n\npaper notation:\n"
+        + rendered
+        + "\n\npaper's Fig. 4 example for comparison:"
+        + "\n  CP1 = (m2, s1, p1->p2->p3, 2, p3)"
+        + "\n  CP2 = (m3, s2, p2->p1->p3, 1, p1->p3)"
+    )
+    emit("E7_fig4_records", text)
+
+    cp1, cp2 = records
+    assert cp1.describe() == "CP1 = (m2, s1, p1->p2->p3, 2, p3)"
+    assert cp2.describe() == "CP2 = (m3, s2, p2->p1->p3, 1, p1->p3)"
+
+    def snapshot_loop():
+        fresh = _drive_recorder()
+        for _ in range(100):
+            fresh.snapshot()
+
+    benchmark(snapshot_loop)

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Compare pTest against ConTest-style random noise and CHESS-lite.
+
+The paper positions pTest between ConTest (random interleaving, cheap
+but unstructured) and CHESS (systematic model checking, thorough but
+explosive).  This script runs all three against the same seeded faults
+and prints detection rate, commands spent, and wasted (error-reply)
+commands.
+
+Run:  python examples/baseline_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines.random_tester import RandomTester
+from repro.baselines.systematic import SystematicExplorer
+from repro.ptest.generator import PatternGenerator
+from repro.workloads.scenarios import (
+    lifecycle_pfa,
+    philosophers_case2,
+)
+
+SEEDS = range(5)
+
+
+def run_ptest() -> tuple[int, int, int]:
+    found = commands = wasted = 0
+    for seed in SEEDS:
+        result = philosophers_case2(seed=seed, op="cyclic").run()
+        commands += result.commands_issued
+        wasted += result.commands_failed
+        found += int(result.found_bug)
+    return found, commands, wasted
+
+
+def run_random() -> tuple[int, int, int]:
+    found = commands = wasted = 0
+    for seed in SEEDS:
+        scenario = philosophers_case2(seed=seed)
+        result = RandomTester(
+            config=scenario.config, programs=dict(scenario.programs)
+        ).run()
+        commands += result.commands_issued
+        wasted += result.commands_failed
+        found += int(result.found_bug)
+    return found, commands, wasted
+
+
+def run_systematic() -> tuple[int, int, int]:
+    found = runs = 0
+    for seed in SEEDS:
+        scenario = philosophers_case2(seed=seed)
+        generator = PatternGenerator.from_pfa(
+            lifecycle_pfa(("TC", "TS", "TR")), seed=seed
+        )
+        explorer = SystematicExplorer(
+            config=scenario.config,
+            patterns=generator.generate_batch(3, 3),
+            programs=dict(scenario.programs),
+            switch_bound=4,
+            max_runs=30,
+        )
+        result = explorer.explore()
+        runs += result.executed
+        found += int(result.found_bug)
+    return found, runs, 0
+
+
+def main() -> None:
+    print("baseline comparison on the dining-philosophers fault")
+    print(f"(detection over {len(list(SEEDS))} seeds)\n")
+    ptest = run_ptest()
+    random_ = run_random()
+    systematic = run_systematic()
+    print(f"{'tester':>24} | {'found':>5} | {'effort':>18}")
+    print("-" * 56)
+    print(
+        f"{'pTest (adaptive, cyclic)':>24} | {ptest[0]:>2}/{len(list(SEEDS))} "
+        f"| {ptest[1]:>5} cmds ({ptest[2]} err)"
+    )
+    print(
+        f"{'ConTest-style random':>24} | {random_[0]:>2}/{len(list(SEEDS))} "
+        f"| {random_[1]:>5} cmds ({random_[2]} err)"
+    )
+    print(
+        f"{'CHESS-lite systematic':>24} | {systematic[0]:>2}/{len(list(SEEDS))} "
+        f"| {systematic[1]:>5} full runs"
+    )
+    print(
+        "\nreading: pTest's PFA keeps every command legal and its merger"
+        "\naims at the suspension window; random noise burns its budget on"
+        "\nerror replies; the systematic explorer also finds it but pays"
+        "\nwhole-run granularity (and explodes combinatorially at scale)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""repro: reproduction of *pTest* (DATE 2009).
+
+pTest is an adaptive stress-testing tool for concurrent software on
+embedded multicore processors using the master-slave model.  This
+package reimplements the tool and every substrate it ran on — the
+OMAP5912-like dual-core SoC, the pCore microkernel, the bridge
+middleware, the master-side runtime — as deterministic simulation, plus
+the baselines it is compared against and the analyses its evaluation
+calls for.
+
+Quick start::
+
+    from repro.ptest import PTestConfig, run_adaptive_test
+
+    result = run_adaptive_test(PTestConfig(pattern_count=4, pattern_size=8))
+    print(result.summary())
+
+Subpackages: :mod:`repro.automata` (regex -> NFA -> PFA pipeline),
+:mod:`repro.sim` (the SoC), :mod:`repro.pcore` (the slave kernel),
+:mod:`repro.master`, :mod:`repro.bridge`, :mod:`repro.ptest` (the
+tool), :mod:`repro.baselines`, :mod:`repro.workloads`,
+:mod:`repro.faults`, :mod:`repro.analysis`.
+"""
+
+from repro.errors import ReproError
+
+__version__ = "0.1.0"
+
+__all__ = ["ReproError", "__version__"]

@@ -1,0 +1,153 @@
+"""Convergence of profiled distributions to the ground truth.
+
+"The knowledge about probability distributions can be learned through
+system profiling" — but how much profiling?  This module measures the
+KL divergence between a trace-learned transition distribution and the
+true generating distribution, per automaton state and aggregated, as a
+function of trace count.  scipy computes the divergences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.stats import entropy
+
+from repro.automata.dfa import DFA
+from repro.automata.distributions import TransitionDistribution
+from repro.automata.learn import estimate_distribution
+from repro.automata.pfa import PFA
+from repro.automata.sampling import PatternSampler
+from repro.errors import DistributionError
+
+
+def row_kl_divergence(
+    true_row: dict[str, float], learned_row: dict[str, float]
+) -> float:
+    """KL(true || learned) over one state's outgoing symbols (nats).
+
+    The learned row must give positive mass to every symbol the true row
+    uses (guaranteed by Laplace smoothing in the learner).
+    """
+    symbols = sorted(true_row)
+    if not symbols:
+        return 0.0
+    true_vector = np.array([true_row[s] for s in symbols])
+    learned_vector = np.array([learned_row.get(s, 0.0) for s in symbols])
+    if np.any((true_vector > 0) & (learned_vector <= 0)):
+        raise DistributionError(
+            "learned row has zero mass on a used transition; smooth first"
+        )
+    return float(entropy(true_vector, learned_vector))
+
+
+def pfa_rows(pfa: PFA) -> dict[int, dict[str, float]]:
+    """Per-state outgoing probability rows of a PFA."""
+    return {
+        state: {
+            t.symbol: t.probability for t in pfa.outgoing(state)
+        }
+        for state in range(pfa.num_states)
+        if not pfa.is_absorbing(state)
+    }
+
+
+def distribution_rows(
+    dist: TransitionDistribution, dfa: DFA
+) -> dict[int, dict[str, float]]:
+    """Per-state rows of a learned distribution over a DFA's arcs."""
+    rows: dict[int, dict[str, float]] = {}
+    for state, arcs in dfa.transitions.items():
+        rows[state] = {
+            symbol: dist.get(state, symbol) for symbol in arcs
+        }
+    return rows
+
+
+@dataclass(frozen=True)
+class ConvergencePoint:
+    """Learned-vs-true divergence at one trace budget."""
+
+    traces: int
+    mean_kl: float
+    max_kl: float
+
+
+def measure_convergence(
+    true_pfa: PFA,
+    structural_dfa: DFA,
+    state_map: dict[int, int],
+    trace_budgets: list[int],
+    seed: int = 0,
+    smoothing: float = 1.0,
+    lifecycle_cap: int = 64,
+) -> list[ConvergencePoint]:
+    """Sample lifecycles from ``true_pfa``, learn on ``structural_dfa``,
+    and score the divergence at each trace budget.
+
+    ``state_map`` maps structural-DFA states to true-PFA states (the two
+    automata accept the same language but may number states
+    differently); build it with :func:`align_states`.
+    """
+    sampler = PatternSampler(true_pfa, seed=seed)
+    points = []
+    traces: list[tuple[str, ...]] = []
+    true_rows = pfa_rows(true_pfa)
+    for budget in sorted(trace_budgets):
+        while len(traces) < budget:
+            traces.append(sampler.sample_to_final(lifecycle_cap).symbols)
+        learned = estimate_distribution(
+            structural_dfa, traces, smoothing=smoothing
+        )
+        learned_rows = distribution_rows(learned, structural_dfa)
+        divergences = []
+        for dfa_state, pfa_state in state_map.items():
+            if pfa_state not in true_rows:
+                continue
+            divergences.append(
+                row_kl_divergence(
+                    true_rows[pfa_state], learned_rows.get(dfa_state, {})
+                )
+            )
+        points.append(
+            ConvergencePoint(
+                traces=budget,
+                mean_kl=float(np.mean(divergences)) if divergences else 0.0,
+                max_kl=float(np.max(divergences)) if divergences else 0.0,
+            )
+        )
+    return points
+
+
+def align_states(dfa: DFA, pfa: PFA) -> dict[int, int]:
+    """Map DFA states to PFA states by parallel breadth-first walk.
+
+    Both automata must accept the same language (checked transitively by
+    the walk: a structural mismatch raises).
+    """
+    mapping = {dfa.start: pfa.start}
+    queue = [dfa.start]
+    seen = {dfa.start}
+    while queue:
+        state = queue.pop(0)
+        pfa_state = mapping[state]
+        for symbol, target in sorted(dfa.outgoing(state).items()):
+            pfa_arc = pfa.step(pfa_state, symbol)
+            if pfa_arc is None:
+                raise DistributionError(
+                    f"automata disagree at state {state} on {symbol!r}"
+                )
+            if target in mapping:
+                if mapping[target] != pfa_arc.target:
+                    # The DFA may merge states the PFA keeps apart (or
+                    # vice versa); alignment requires compatible shapes.
+                    raise DistributionError(
+                        f"state {target} maps ambiguously; align on the "
+                        f"unminimised subset DFA"
+                    )
+            else:
+                mapping[target] = pfa_arc.target
+                seen.add(target)
+                queue.append(target)
+    return mapping

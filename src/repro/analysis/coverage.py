@@ -1,0 +1,83 @@
+"""Coverage metrics over PFAs and pattern batches.
+
+"The effects of code coverage influences the quality of fault detection
+... the code coverage analysis is a useful information for stress
+testing on large software systems" (Section II-A).  The tractable
+analogues in pTest's setting:
+
+* **transition coverage** — which PFA arcs the generated patterns
+  exercised (the structural coverage of the behaviour model), and
+* **service-pair coverage** — which ordered pairs of consecutive
+  services appeared, relative to the pairs the model allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.automata.pfa import PFA
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Fractional coverage with the exercised/possible breakdown."""
+
+    covered: frozenset
+    possible: frozenset
+
+    @property
+    def fraction(self) -> float:
+        if not self.possible:
+            return 1.0
+        return len(self.covered & self.possible) / len(self.possible)
+
+    @property
+    def missing(self) -> frozenset:
+        return self.possible - self.covered
+
+
+def pattern_transition_coverage(
+    pfa: PFA, patterns: Iterable[Sequence[str]]
+) -> CoverageReport:
+    """Which PFA transitions the patterns walk (replayed from the start
+    state; a pattern that falls off the automaton contributes its valid
+    prefix)."""
+    possible = frozenset(
+        (state, transition.symbol)
+        for state in range(pfa.num_states)
+        for transition in pfa.outgoing(state)
+    )
+    covered: set[tuple[int, str]] = set()
+    for pattern in patterns:
+        state = pfa.start
+        for symbol in pattern:
+            transition = pfa.step(state, symbol)
+            if transition is None:
+                break
+            covered.add((state, symbol))
+            state = transition.target
+    return CoverageReport(covered=frozenset(covered), possible=possible)
+
+
+def _legal_pairs(pfa: PFA) -> frozenset[tuple[str, str]]:
+    """Ordered symbol pairs realisable as consecutive PFA steps."""
+    pairs: set[tuple[str, str]] = set()
+    for state in range(pfa.num_states):
+        for first in pfa.outgoing(state):
+            for second in pfa.outgoing(first.target):
+                pairs.add((first.symbol, second.symbol))
+    return frozenset(pairs)
+
+
+def service_pair_coverage(
+    pfa: PFA, patterns: Iterable[Sequence[str]]
+) -> CoverageReport:
+    """Which consecutive service pairs appeared, out of the legal ones."""
+    covered: set[tuple[str, str]] = set()
+    for pattern in patterns:
+        for first, second in zip(pattern, pattern[1:]):
+            covered.add((first, second))
+    return CoverageReport(
+        covered=frozenset(covered), possible=_legal_pairs(pfa)
+    )

@@ -1,0 +1,120 @@
+"""Detection-rate metrics over seed sweeps.
+
+The paper's future work: "identify the influence of probability
+distributions on the generation of test pattern" and "the replicated
+test patterns can reduce the effectiveness of pTest".  These helpers
+quantify both: run a scenario builder across seeds and aggregate
+detection outcomes; measure duplication within pattern batches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.ptest.detector import AnomalyKind
+from repro.ptest.harness import AdaptiveTest, TestRunResult
+
+
+@dataclass(frozen=True)
+class DetectionStats:
+    """Aggregate of one detection sweep."""
+
+    runs: int
+    detections: int
+    expected_kind_hits: int
+    mean_ticks_to_detection: float
+    mean_commands_to_detection: float
+    false_kinds: tuple[str, ...]
+
+    @property
+    def rate(self) -> float:
+        return self.detections / self.runs if self.runs else 0.0
+
+    @property
+    def precision(self) -> float:
+        """Among detections, the share matching the expected kind."""
+        if not self.detections:
+            return 0.0
+        return self.expected_kind_hits / self.detections
+
+
+def detection_sweep(
+    builder: Callable[[int], AdaptiveTest],
+    seeds: Iterable[int],
+    expected: AnomalyKind | None,
+) -> DetectionStats:
+    """Run ``builder(seed)`` per seed; score against ``expected``.
+
+    With ``expected=None`` (healthy control) ``detections`` counts false
+    positives and the means stay NaN-free at 0.
+    """
+    runs = 0
+    detections = 0
+    hits = 0
+    tick_sum = 0.0
+    command_sum = 0.0
+    false_kinds: list[str] = []
+    for seed in seeds:
+        result: TestRunResult = builder(seed).run()
+        runs += 1
+        if not result.found_bug:
+            continue
+        detections += 1
+        primary = result.report.primary
+        tick_sum += primary.detected_at
+        command_sum += result.commands_issued
+        if expected is not None and primary.kind is expected:
+            hits += 1
+        else:
+            false_kinds.append(primary.kind.value)
+    mean_ticks = tick_sum / detections if detections else 0.0
+    mean_commands = command_sum / detections if detections else 0.0
+    return DetectionStats(
+        runs=runs,
+        detections=detections,
+        expected_kind_hits=hits,
+        mean_ticks_to_detection=mean_ticks,
+        mean_commands_to_detection=mean_commands,
+        false_kinds=tuple(false_kinds),
+    )
+
+
+def duplication_rate(patterns: Sequence[Sequence[str]]) -> float:
+    """Fraction of patterns in a batch that duplicate an earlier one.
+
+    0.0 = all unique; approaching 1.0 = the batch is mostly replicas
+    (the effectiveness concern of the paper's future work).
+    """
+    if not patterns:
+        return 0.0
+    seen: set[tuple[str, ...]] = set()
+    duplicates = 0
+    for pattern in patterns:
+        key = tuple(pattern)
+        if key in seen:
+            duplicates += 1
+        else:
+            seen.add(key)
+    return duplicates / len(patterns)
+
+
+def unique_pattern_fraction(patterns: Sequence[Sequence[str]]) -> float:
+    """Distinct patterns / total patterns."""
+    if not patterns:
+        return 1.0
+    return len({tuple(p) for p in patterns}) / len(patterns)
+
+
+def expected_distinct_patterns(
+    probabilities: Sequence[float], draws: int
+) -> float:
+    """Analytic expected number of distinct outcomes over ``draws``
+    samples of a categorical distribution — the model for duplication
+    growth used to cross-check the empirical rate (E9)."""
+    if draws < 0:
+        raise ValueError(f"draws must be >= 0, got {draws}")
+    return float(
+        sum(1.0 - math.pow(1.0 - p, draws) for p in probabilities)
+    )

@@ -1,0 +1,35 @@
+"""Learning PFA distributions from executed runs.
+
+"The knowledge about probability distributions can be learned through
+system profiling" — the loop closed here: run a (possibly uniform)
+stress test, collect the per-pair service traces it actually executed,
+and estimate a transition distribution for the next, better-informed
+round of testing.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.automata.dfa import DFA
+from repro.automata.distributions import TransitionDistribution
+from repro.automata.learn import estimate_distribution
+from repro.ptest.harness import TestRunResult
+
+
+def traces_from_result(result: TestRunResult) -> list[tuple[str, ...]]:
+    """The per-pair service sequences a run issued (its profile)."""
+    return [tuple(pattern) for pattern in result.patterns]
+
+
+def learn_distribution_from_patterns(
+    dfa: DFA,
+    traces: Sequence[Sequence[str]],
+    smoothing: float = 1.0,
+) -> TransitionDistribution:
+    """Estimate a smoothed transition distribution from traces.
+
+    Thin wrapper over :func:`repro.automata.learn.estimate_distribution`
+    so analysis code does not import automata internals directly.
+    """
+    return estimate_distribution(dfa, traces, smoothing=smoothing)

@@ -1,0 +1,108 @@
+"""Finite automata used by pTest's pattern generator.
+
+The pipeline mirrors Algorithm 2 of the paper:
+
+1. parse a regular expression over *service symbols* into an AST
+   (:mod:`repro.automata.regex_parser`),
+2. compile the AST into a Thompson NFA (:mod:`repro.automata.nfa`),
+3. determinise via subset construction (:mod:`repro.automata.dfa`),
+4. attach a probability distribution to obtain a probabilistic
+   finite-state automaton, Definition 1 of the paper
+   (:mod:`repro.automata.pfa`),
+5. sample symbol sequences from the PFA
+   (:mod:`repro.automata.sampling`).
+
+Supporting modules provide distribution utilities
+(:mod:`repro.automata.distributions`), learning distributions from traces
+(:mod:`repro.automata.learn`) and Markov-chain analysis of a PFA
+(:mod:`repro.automata.analysis`).
+"""
+
+from repro.automata.regex_ast import (
+    Concat,
+    Empty,
+    Epsilon,
+    Literal,
+    Plus,
+    Optional_,
+    RegexNode,
+    Star,
+    Union,
+)
+from repro.automata.regex_parser import parse_regex, tokenize
+from repro.automata.nfa import NFA, NFABuilder, regex_to_nfa
+from repro.automata.dfa import DFA, nfa_to_dfa, minimize_dfa
+from repro.automata.pfa import PFA, Transition, build_pfa, pfa_from_regex
+from repro.automata.distributions import (
+    TransitionDistribution,
+    normalize_weights,
+    uniform_distribution,
+    validate_distribution,
+)
+from repro.automata.sampling import PatternSampler, SampledPattern, sample_pattern
+from repro.automata.learn import estimate_distribution, TraceCounter
+from repro.automata.operations import (
+    complete,
+    count_words_by_length,
+    distinguishing_word,
+    enumerate_words,
+    equivalent,
+    pfa_support_dfa,
+)
+from repro.automata.analysis import (
+    expected_pattern_length,
+    reachable_states,
+    absorbing_states,
+    mean_entropy,
+    stationary_distribution,
+    string_probability,
+    transition_entropy,
+    transition_matrix,
+)
+
+__all__ = [
+    "Concat",
+    "Empty",
+    "Epsilon",
+    "Literal",
+    "Plus",
+    "Optional_",
+    "RegexNode",
+    "Star",
+    "Union",
+    "parse_regex",
+    "tokenize",
+    "NFA",
+    "NFABuilder",
+    "regex_to_nfa",
+    "DFA",
+    "nfa_to_dfa",
+    "minimize_dfa",
+    "PFA",
+    "Transition",
+    "build_pfa",
+    "pfa_from_regex",
+    "TransitionDistribution",
+    "normalize_weights",
+    "uniform_distribution",
+    "validate_distribution",
+    "PatternSampler",
+    "SampledPattern",
+    "sample_pattern",
+    "estimate_distribution",
+    "TraceCounter",
+    "complete",
+    "count_words_by_length",
+    "distinguishing_word",
+    "enumerate_words",
+    "equivalent",
+    "pfa_support_dfa",
+    "expected_pattern_length",
+    "reachable_states",
+    "absorbing_states",
+    "mean_entropy",
+    "stationary_distribution",
+    "string_probability",
+    "transition_entropy",
+    "transition_matrix",
+]

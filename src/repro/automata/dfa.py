@@ -1,0 +1,165 @@
+"""Deterministic finite automata via subset construction.
+
+The paper's ``ConstructPFA`` attaches probabilities to an automaton whose
+per-state outgoing arcs are distinguishable by symbol; determinising the
+Thompson NFA first gives exactly that structure (one arc per (state,
+symbol)), so probability rows are well defined.  Hopcroft-style
+minimization keeps the PFA close to the hand-drawn figures in the paper
+(Fig. 3 and Fig. 5 are minimal).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.automata.nfa import NFA
+from repro.errors import AutomatonError
+
+
+@dataclass
+class DFA:
+    """A deterministic finite automaton.
+
+    ``transitions[state][symbol]`` is the unique successor, when defined.
+    Missing entries mean the word is rejected (no dead state is stored).
+    """
+
+    num_states: int
+    alphabet: frozenset[str]
+    transitions: dict[int, dict[str, int]]
+    start: int
+    accepts: frozenset[int]
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.num_states:
+            raise AutomatonError(f"start state {self.start} out of range")
+        for state in self.accepts:
+            if not 0 <= state < self.num_states:
+                raise AutomatonError(f"accept state {state} out of range")
+        for state, arcs in self.transitions.items():
+            if not 0 <= state < self.num_states:
+                raise AutomatonError(f"state {state} out of range")
+            for symbol, target in arcs.items():
+                if symbol not in self.alphabet:
+                    raise AutomatonError(f"unknown symbol {symbol!r}")
+                if not 0 <= target < self.num_states:
+                    raise AutomatonError(f"target {target} out of range")
+
+    def step(self, state: int, symbol: str) -> int | None:
+        """Return the successor of ``state`` on ``symbol``, or ``None``."""
+        return self.transitions.get(state, {}).get(symbol)
+
+    def accepts_word(self, word: list[str] | tuple[str, ...]) -> bool:
+        """Run the DFA on a symbol sequence."""
+        state: int | None = self.start
+        for symbol in word:
+            if state is None:
+                return False
+            state = self.step(state, symbol)
+        return state is not None and state in self.accepts
+
+    def outgoing(self, state: int) -> dict[str, int]:
+        """Return the outgoing arc map of ``state`` (possibly empty)."""
+        return dict(self.transitions.get(state, {}))
+
+    def is_final(self, state: int) -> bool:
+        return state in self.accepts
+
+
+def nfa_to_dfa(nfa: NFA) -> DFA:
+    """Subset construction; unreachable subsets are never materialised."""
+    start_set = nfa.epsilon_closure([nfa.start])
+    ids: dict[frozenset[int], int] = {start_set: 0}
+    order: list[frozenset[int]] = [start_set]
+    transitions: dict[int, dict[str, int]] = {}
+    queue: deque[frozenset[int]] = deque([start_set])
+    symbols = sorted(nfa.alphabet)
+    while queue:
+        subset = queue.popleft()
+        source = ids[subset]
+        for symbol in symbols:
+            moved = nfa.move(subset, symbol)
+            if not moved:
+                continue
+            target_set = nfa.epsilon_closure(moved)
+            if target_set not in ids:
+                ids[target_set] = len(order)
+                order.append(target_set)
+                queue.append(target_set)
+            transitions.setdefault(source, {})[symbol] = ids[target_set]
+    accepts = frozenset(
+        ids[subset] for subset in order if subset & nfa.accepts
+    )
+    return DFA(
+        num_states=len(order),
+        alphabet=nfa.alphabet,
+        transitions=transitions,
+        start=0,
+        accepts=accepts,
+    )
+
+
+def _partition_refine(dfa: DFA) -> list[set[int]]:
+    """Moore-style partition refinement (simple, O(n^2 * |Sigma|))."""
+    accepting = set(dfa.accepts)
+    non_accepting = set(range(dfa.num_states)) - accepting
+    partition = [block for block in (accepting, non_accepting) if block]
+    symbols = sorted(dfa.alphabet)
+    changed = True
+    while changed:
+        changed = False
+        block_of = {}
+        for index, block in enumerate(partition):
+            for state in block:
+                block_of[state] = index
+        new_partition: list[set[int]] = []
+        for block in partition:
+            buckets: dict[tuple[int | None, ...], set[int]] = {}
+            for state in block:
+                signature = tuple(
+                    block_of.get(dfa.step(state, symbol))
+                    if dfa.step(state, symbol) is not None
+                    else None
+                    for symbol in symbols
+                )
+                buckets.setdefault(signature, set()).add(state)
+            new_partition.extend(buckets.values())
+            if len(buckets) > 1:
+                changed = True
+        partition = new_partition
+    return partition
+
+
+def minimize_dfa(dfa: DFA) -> DFA:
+    """Return an equivalent DFA with the minimum number of live states.
+
+    The start state's block is renumbered to 0 so downstream code can keep
+    assuming ``start == 0``.
+    """
+    partition = _partition_refine(dfa)
+    block_of: dict[int, int] = {}
+    # Renumber blocks with the start block first, then in discovery order.
+    start_block = next(
+        index for index, block in enumerate(partition) if dfa.start in block
+    )
+    ordering = [start_block] + [
+        index for index in range(len(partition)) if index != start_block
+    ]
+    renumber = {old: new for new, old in enumerate(ordering)}
+    for index, block in enumerate(partition):
+        for state in block:
+            block_of[state] = renumber[index]
+    transitions: dict[int, dict[str, int]] = {}
+    for state, arcs in dfa.transitions.items():
+        source = block_of[state]
+        for symbol, target in arcs.items():
+            transitions.setdefault(source, {})[symbol] = block_of[target]
+    accepts = frozenset(block_of[state] for state in dfa.accepts)
+    return DFA(
+        num_states=len(partition),
+        alphabet=dfa.alphabet,
+        transitions=transitions,
+        start=block_of[dfa.start],
+        accepts=accepts,
+    )

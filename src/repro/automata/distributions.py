@@ -1,0 +1,162 @@
+"""Probability-distribution utilities for PFA construction.
+
+The paper feeds a *probability distribution* ``PD`` into ``ConstructPFA``
+(Algorithm 2).  Here ``PD`` is represented by
+:class:`TransitionDistribution`: a mapping from ``(state, symbol)`` pairs
+to positive weights.  Helpers normalise raw weights row-by-row, build
+uniform fallbacks, and validate the stochasticity condition of
+Definition 1 (Eq. (1)): for every state with outgoing arcs the outgoing
+probabilities must sum to one.  States with no outgoing arcs (absorbing
+final states, e.g. ``TD``/``TY`` in Fig. 5) are exempt — the paper's
+definition is "simplified by removing ... final state probabilities".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import DistributionError
+
+#: Tolerance used when checking that probability rows sum to one.
+ROW_SUM_TOLERANCE = 1e-9
+
+
+@dataclass
+class TransitionDistribution:
+    """Weights for PFA transitions, keyed by ``(state, symbol)``.
+
+    Weights need not be normalised; :meth:`normalized` produces a copy
+    whose rows sum to one.  Missing entries default to zero weight.
+    """
+
+    weights: dict[tuple[int, str], float] = field(default_factory=dict)
+
+    def set(self, state: int, symbol: str, weight: float) -> None:
+        """Assign a weight; weights must be non-negative and finite."""
+        if not math.isfinite(weight) or weight < 0:
+            raise DistributionError(
+                f"weight for ({state}, {symbol!r}) must be a non-negative "
+                f"finite number, got {weight!r}"
+            )
+        self.weights[(state, symbol)] = float(weight)
+
+    def get(self, state: int, symbol: str, default: float = 0.0) -> float:
+        return self.weights.get((state, symbol), default)
+
+    def row(self, state: int) -> dict[str, float]:
+        """Return the ``symbol -> weight`` map for one state."""
+        return {
+            symbol: weight
+            for (row_state, symbol), weight in self.weights.items()
+            if row_state == state
+        }
+
+    def states(self) -> set[int]:
+        return {state for (state, _symbol) in self.weights}
+
+    def normalized(self) -> "TransitionDistribution":
+        """Return a copy with every row rescaled to sum to one.
+
+        Rows whose total weight is zero are dropped (they carry no
+        information; the PFA builder will fall back to uniform).
+        """
+        totals: dict[int, float] = {}
+        for (state, _symbol), weight in self.weights.items():
+            totals[state] = totals.get(state, 0.0) + weight
+        normalized = TransitionDistribution()
+        for (state, symbol), weight in self.weights.items():
+            total = totals[state]
+            if total > 0:
+                normalized.weights[(state, symbol)] = weight / total
+        return normalized
+
+    @classmethod
+    def from_mapping(
+        cls, mapping: Mapping[tuple[int, str], float]
+    ) -> "TransitionDistribution":
+        dist = cls()
+        for (state, symbol), weight in mapping.items():
+            dist.set(state, symbol, weight)
+        return dist
+
+
+def normalize_weights(weights: Mapping[str, float]) -> dict[str, float]:
+    """Normalise one row of ``symbol -> weight`` to probabilities.
+
+    Raises :class:`DistributionError` if any weight is negative or the row
+    sums to zero.
+    """
+    total = 0.0
+    for symbol, weight in weights.items():
+        if not math.isfinite(weight) or weight < 0:
+            raise DistributionError(
+                f"weight for {symbol!r} must be non-negative, got {weight!r}"
+            )
+        total += weight
+    if total <= 0:
+        raise DistributionError("cannot normalise a row with zero total weight")
+    return {symbol: weight / total for symbol, weight in weights.items()}
+
+
+def uniform_distribution(
+    arcs: Iterable[tuple[int, str]]
+) -> TransitionDistribution:
+    """Build a distribution giving each state's outgoing arcs equal mass."""
+    arcs = list(arcs)
+    counts: dict[int, int] = {}
+    for state, _symbol in arcs:
+        counts[state] = counts.get(state, 0) + 1
+    dist = TransitionDistribution()
+    for state, symbol in arcs:
+        dist.set(state, symbol, 1.0 / counts[state])
+    return dist
+
+
+def validate_distribution(
+    dist: TransitionDistribution,
+    outgoing: Mapping[int, Iterable[str]],
+) -> None:
+    """Check Definition 1's stochasticity condition against a structure.
+
+    Parameters
+    ----------
+    dist:
+        Candidate (already normalised) distribution.
+    outgoing:
+        Mapping from each state to the symbols of its outgoing arcs.
+
+    Raises
+    ------
+    DistributionError
+        If the distribution names a transition absent from ``outgoing``,
+        assigns a non-positive probability to an existing arc, or a row of
+        a non-absorbing state does not sum to one.
+    """
+    arcs = {
+        (state, symbol)
+        for state, symbols in outgoing.items()
+        for symbol in symbols
+    }
+    for (state, symbol), weight in dist.weights.items():
+        if (state, symbol) not in arcs:
+            raise DistributionError(
+                f"distribution names nonexistent transition "
+                f"({state}, {symbol!r})"
+            )
+        if weight <= 0:
+            raise DistributionError(
+                f"transition ({state}, {symbol!r}) has non-positive "
+                f"probability {weight}"
+            )
+    for state, symbols in outgoing.items():
+        symbols = list(symbols)
+        if not symbols:
+            continue
+        total = sum(dist.get(state, symbol) for symbol in symbols)
+        if abs(total - 1.0) > ROW_SUM_TOLERANCE:
+            raise DistributionError(
+                f"probabilities out of state {state} sum to {total}, "
+                f"violating Eq. (1)"
+            )

@@ -1,0 +1,197 @@
+"""Hidden Markov models over the PFA state space.
+
+The paper (§III-A): "in practice, a hidden Markov model (HMM) that
+emits a sequence of symbols according to probability distributions is
+the most common type of probabilistic finite-state automata."  This
+module provides that generalisation: states carry *emission*
+distributions separate from the transition structure, with the standard
+forward algorithm (sequence likelihood), Viterbi decoding (most likely
+state path for an observed service trace — useful for diagnosing where
+a logged trace sits in the task life cycle) and ancestral sampling.
+
+The plain PFA is the special case where each transition deterministically
+emits its own symbol; :func:`hmm_from_pfa` performs that embedding.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.automata.pfa import PFA
+from repro.errors import DistributionError
+
+_TOLERANCE = 1e-9
+
+
+@dataclass
+class HMM:
+    """A discrete-emission hidden Markov model.
+
+    Attributes
+    ----------
+    transition:
+        Row-stochastic matrix ``A[i, j] = P(next=j | current=i)``.
+    emission:
+        Row-stochastic matrix ``B[i, k] = P(emit symbols[k] | state=i)``.
+    initial:
+        Initial state distribution ``pi``.
+    symbols:
+        Emission alphabet, indexing ``emission``'s columns.
+    """
+
+    transition: np.ndarray
+    emission: np.ndarray
+    initial: np.ndarray
+    symbols: tuple[str, ...]
+    _symbol_index: dict[str, int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        states = self.transition.shape[0]
+        if self.transition.shape != (states, states):
+            raise DistributionError("transition matrix must be square")
+        if self.emission.shape[0] != states:
+            raise DistributionError("emission rows must match state count")
+        if self.emission.shape[1] != len(self.symbols):
+            raise DistributionError("emission columns must match symbols")
+        if self.initial.shape != (states,):
+            raise DistributionError("initial vector shape mismatch")
+        for name, matrix in (
+            ("transition", self.transition),
+            ("emission", self.emission),
+        ):
+            sums = matrix.sum(axis=1)
+            if not np.allclose(sums, 1.0, atol=_TOLERANCE):
+                raise DistributionError(f"{name} rows must sum to 1")
+        if abs(self.initial.sum() - 1.0) > _TOLERANCE:
+            raise DistributionError("initial distribution must sum to 1")
+        self._symbol_index = {s: k for k, s in enumerate(self.symbols)}
+
+    @property
+    def num_states(self) -> int:
+        return self.transition.shape[0]
+
+    def _observation_indices(self, observations: list[str]) -> list[int]:
+        try:
+            return [self._symbol_index[symbol] for symbol in observations]
+        except KeyError as error:
+            raise DistributionError(f"unknown symbol {error.args[0]!r}") from None
+
+    def forward(self, observations: list[str]) -> float:
+        """Sequence likelihood ``P(observations)`` (forward algorithm)."""
+        if not observations:
+            return 1.0
+        indices = self._observation_indices(observations)
+        alpha = self.initial * self.emission[:, indices[0]]
+        for index in indices[1:]:
+            alpha = (alpha @ self.transition) * self.emission[:, index]
+        return float(alpha.sum())
+
+    def log_forward(self, observations: list[str]) -> float:
+        """Log-likelihood with per-step scaling (long-trace safe)."""
+        if not observations:
+            return 0.0
+        indices = self._observation_indices(observations)
+        alpha = self.initial * self.emission[:, indices[0]]
+        log_likelihood = 0.0
+        for step, index in enumerate(indices):
+            if step > 0:
+                alpha = (alpha @ self.transition) * self.emission[:, index]
+            total = alpha.sum()
+            if total <= 0:
+                return -math.inf
+            log_likelihood += math.log(total)
+            alpha = alpha / total
+        return log_likelihood
+
+    def viterbi(self, observations: list[str]) -> tuple[list[int], float]:
+        """Most likely state path and its log-probability."""
+        if not observations:
+            return [], 0.0
+        indices = self._observation_indices(observations)
+        with np.errstate(divide="ignore"):
+            log_a = np.log(self.transition)
+            log_b = np.log(self.emission)
+            log_pi = np.log(self.initial)
+        steps = len(indices)
+        delta = np.full((steps, self.num_states), -np.inf)
+        backpointer = np.zeros((steps, self.num_states), dtype=int)
+        delta[0] = log_pi + log_b[:, indices[0]]
+        for t in range(1, steps):
+            scores = delta[t - 1][:, None] + log_a
+            backpointer[t] = scores.argmax(axis=0)
+            delta[t] = scores.max(axis=0) + log_b[:, indices[t]]
+        best_last = int(delta[-1].argmax())
+        path = [best_last]
+        for t in range(steps - 1, 0, -1):
+            path.append(int(backpointer[t, path[-1]]))
+        path.reverse()
+        return path, float(delta[-1, best_last])
+
+    def sample(self, length: int, seed: int | None = None) -> list[str]:
+        """Ancestral sampling of an observation sequence."""
+        rng = random.Random(seed)
+        state = rng.choices(
+            range(self.num_states), weights=self.initial.tolist()
+        )[0]
+        observations = []
+        for _ in range(length):
+            symbol_index = rng.choices(
+                range(len(self.symbols)),
+                weights=self.emission[state].tolist(),
+            )[0]
+            observations.append(self.symbols[symbol_index])
+            state = rng.choices(
+                range(self.num_states),
+                weights=self.transition[state].tolist(),
+            )[0]
+        return observations
+
+
+def hmm_from_pfa(pfa: PFA) -> HMM:
+    """Embed a PFA as an HMM.
+
+    Each PFA *transition* becomes an HMM state that deterministically
+    emits its symbol; HMM transitions follow the PFA's structure.
+    Absorbing PFA states get a self-looping silent-ish sink emitting a
+    reserved ``"$"`` symbol (so rows stay stochastic).
+    """
+    arcs = [
+        transition
+        for state in range(pfa.num_states)
+        for transition in pfa.outgoing(state)
+    ]
+    if not arcs:
+        raise DistributionError("PFA has no transitions to embed")
+    symbols = tuple(sorted({arc.symbol for arc in arcs}) + ["$"])
+    sink = len(arcs)
+    size = len(arcs) + 1
+    transition = np.zeros((size, size))
+    emission = np.zeros((size, len(symbols)))
+    initial = np.zeros(size)
+    symbol_index = {s: k for k, s in enumerate(symbols)}
+    arc_ids = {id(arc): i for i, arc in enumerate(arcs)}
+    outgoing_of = {
+        state: pfa.outgoing(state) for state in range(pfa.num_states)
+    }
+    for i, arc in enumerate(arcs):
+        emission[i, symbol_index[arc.symbol]] = 1.0
+        successors = outgoing_of[arc.target]
+        if successors:
+            for succ in successors:
+                transition[i, arc_ids[id(succ)]] = succ.probability
+        else:
+            transition[i, sink] = 1.0
+    transition[sink, sink] = 1.0
+    emission[sink, symbol_index["$"]] = 1.0
+    for arc in outgoing_of[pfa.start]:
+        initial[arc_ids[id(arc)]] = arc.probability
+    return HMM(
+        transition=transition,
+        emission=emission,
+        initial=initial,
+        symbols=symbols,
+    )

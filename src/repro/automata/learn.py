@@ -1,0 +1,99 @@
+"""Learning transition distributions from observed traces.
+
+The paper assumes "most users do not know the probability distributions"
+and suggests they "can be learned through system profiling".  This module
+implements that: replay observed service traces through the automaton's
+deterministic structure, count transition usage, and convert counts to a
+:class:`TransitionDistribution` (optionally Laplace-smoothed so unseen
+but legal transitions keep non-zero mass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.automata.dfa import DFA
+from repro.automata.distributions import TransitionDistribution
+from repro.errors import DistributionError
+
+
+@dataclass
+class TraceCounter:
+    """Counts transition usage by replaying traces through a DFA."""
+
+    dfa: DFA
+    counts: dict[tuple[int, str], int] = field(default_factory=dict)
+    #: Traces (or trace suffixes) that left the automaton's language.
+    rejected: int = 0
+    observed: int = 0
+
+    def observe(self, trace: Sequence[str]) -> bool:
+        """Replay one trace from the start state, counting transitions.
+
+        Returns ``True`` if the whole trace stayed within the automaton.
+        A trace that falls off the automaton is counted up to the failing
+        symbol and recorded in :attr:`rejected`.
+        """
+        state = self.dfa.start
+        self.observed += 1
+        for symbol in trace:
+            target = self.dfa.step(state, symbol)
+            if target is None:
+                self.rejected += 1
+                return False
+            key = (state, symbol)
+            self.counts[key] = self.counts.get(key, 0) + 1
+            state = target
+        return True
+
+    def observe_many(self, traces: Iterable[Sequence[str]]) -> int:
+        """Replay several traces; returns how many were fully accepted."""
+        accepted = 0
+        for trace in traces:
+            if self.observe(trace):
+                accepted += 1
+        return accepted
+
+    def to_distribution(self, smoothing: float = 0.0) -> TransitionDistribution:
+        """Convert counts into a normalised distribution.
+
+        ``smoothing`` is an additive (Laplace) pseudo-count applied to
+        every structurally legal transition, so profiled distributions
+        keep exploring rarely seen services.
+        """
+        if smoothing < 0:
+            raise DistributionError(
+                f"smoothing must be non-negative, got {smoothing}"
+            )
+        dist = TransitionDistribution()
+        for state, arcs in self.dfa.transitions.items():
+            row_total = 0.0
+            row: dict[str, float] = {}
+            for symbol in arcs:
+                weight = self.counts.get((state, symbol), 0) + smoothing
+                row[symbol] = weight
+                row_total += weight
+            if row_total <= 0:
+                continue  # never visited and no smoothing: leave uniform
+            for symbol, weight in row.items():
+                if weight > 0:
+                    dist.set(state, symbol, weight / row_total)
+        return dist
+
+
+def estimate_distribution(
+    dfa: DFA,
+    traces: Iterable[Sequence[str]],
+    smoothing: float = 1.0,
+) -> TransitionDistribution:
+    """Profile ``traces`` against ``dfa`` and return a smoothed
+    distribution — the "learned through system profiling" path.
+
+    With the default ``smoothing=1.0`` every legal transition keeps some
+    probability even if absent from the traces, which is what a stress
+    tester wants (never completely stop exercising a service).
+    """
+    counter = TraceCounter(dfa)
+    counter.observe_many(traces)
+    return counter.to_distribution(smoothing=smoothing)

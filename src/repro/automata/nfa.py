@@ -1,0 +1,211 @@
+"""Nondeterministic finite automata via Thompson's construction.
+
+``ConvertToNFA`` in Algorithm 2 of the paper is realised here by
+:func:`regex_to_nfa`.  States are small integers allocated by
+:class:`NFABuilder`; epsilon moves are stored separately from symbol moves
+so closure computation stays simple.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.automata.regex_ast import (
+    Concat,
+    Empty,
+    Epsilon,
+    Literal,
+    Optional_,
+    Plus,
+    RegexNode,
+    Star,
+    Union,
+)
+from repro.errors import AutomatonError
+
+
+@dataclass
+class NFA:
+    """A nondeterministic finite automaton with epsilon moves.
+
+    Attributes
+    ----------
+    num_states:
+        States are ``0 .. num_states - 1``.
+    alphabet:
+        The symbols appearing on (non-epsilon) arcs.
+    transitions:
+        Mapping ``state -> symbol -> set of successor states``.
+    epsilon:
+        Mapping ``state -> set of successor states`` for epsilon moves.
+    start:
+        The single start state.
+    accepts:
+        Set of accepting states.
+    """
+
+    num_states: int
+    alphabet: frozenset[str]
+    transitions: dict[int, dict[str, set[int]]]
+    epsilon: dict[int, set[int]]
+    start: int
+    accepts: frozenset[int]
+
+    def __post_init__(self) -> None:
+        self._check_state(self.start)
+        for state in self.accepts:
+            self._check_state(state)
+        for state, arcs in self.transitions.items():
+            self._check_state(state)
+            for symbol, targets in arcs.items():
+                if symbol not in self.alphabet:
+                    raise AutomatonError(
+                        f"transition on unknown symbol {symbol!r}"
+                    )
+                for target in targets:
+                    self._check_state(target)
+        for state, targets in self.epsilon.items():
+            self._check_state(state)
+            for target in targets:
+                self._check_state(target)
+
+    def _check_state(self, state: int) -> None:
+        if not 0 <= state < self.num_states:
+            raise AutomatonError(f"state {state} out of range")
+
+    def epsilon_closure(self, states: Iterable[int]) -> frozenset[int]:
+        """Return all states reachable from ``states`` via epsilon moves."""
+        closure = set(states)
+        queue = deque(closure)
+        while queue:
+            state = queue.popleft()
+            for target in self.epsilon.get(state, ()):
+                if target not in closure:
+                    closure.add(target)
+                    queue.append(target)
+        return frozenset(closure)
+
+    def move(self, states: Iterable[int], symbol: str) -> frozenset[int]:
+        """Return states directly reachable from ``states`` on ``symbol``."""
+        result: set[int] = set()
+        for state in states:
+            result.update(self.transitions.get(state, {}).get(symbol, ()))
+        return frozenset(result)
+
+    def accepts_word(self, word: Iterable[str]) -> bool:
+        """Simulate the NFA on a sequence of symbols."""
+        current = self.epsilon_closure([self.start])
+        for symbol in word:
+            if symbol not in self.alphabet:
+                return False
+            current = self.epsilon_closure(self.move(current, symbol))
+            if not current:
+                return False
+        return bool(current & self.accepts)
+
+
+@dataclass
+class _Fragment:
+    """A partially-built NFA fragment with one entry and one exit state."""
+
+    start: int
+    accept: int
+
+
+@dataclass
+class NFABuilder:
+    """Incrementally builds an NFA using Thompson's construction."""
+
+    alphabet: set[str] = field(default_factory=set)
+    transitions: dict[int, dict[str, set[int]]] = field(default_factory=dict)
+    epsilon: dict[int, set[int]] = field(default_factory=dict)
+    _next_state: int = 0
+
+    def new_state(self) -> int:
+        state = self._next_state
+        self._next_state += 1
+        return state
+
+    def add_arc(self, source: int, symbol: str, target: int) -> None:
+        self.alphabet.add(symbol)
+        self.transitions.setdefault(source, {}).setdefault(symbol, set()).add(target)
+
+    def add_epsilon(self, source: int, target: int) -> None:
+        self.epsilon.setdefault(source, set()).add(target)
+
+    # -- Thompson construction per AST node -----------------------------
+
+    def build(self, node: RegexNode) -> _Fragment:
+        if isinstance(node, Empty):
+            # Two fresh states with no connection: accepts nothing.
+            return _Fragment(self.new_state(), self.new_state())
+        if isinstance(node, Epsilon):
+            start = self.new_state()
+            accept = self.new_state()
+            self.add_epsilon(start, accept)
+            return _Fragment(start, accept)
+        if isinstance(node, Literal):
+            start = self.new_state()
+            accept = self.new_state()
+            self.add_arc(start, node.symbol, accept)
+            return _Fragment(start, accept)
+        if isinstance(node, Concat):
+            left = self.build(node.left)
+            right = self.build(node.right)
+            self.add_epsilon(left.accept, right.start)
+            return _Fragment(left.start, right.accept)
+        if isinstance(node, Union):
+            left = self.build(node.left)
+            right = self.build(node.right)
+            start = self.new_state()
+            accept = self.new_state()
+            self.add_epsilon(start, left.start)
+            self.add_epsilon(start, right.start)
+            self.add_epsilon(left.accept, accept)
+            self.add_epsilon(right.accept, accept)
+            return _Fragment(start, accept)
+        if isinstance(node, Star):
+            inner = self.build(node.child)
+            start = self.new_state()
+            accept = self.new_state()
+            self.add_epsilon(start, inner.start)
+            self.add_epsilon(start, accept)
+            self.add_epsilon(inner.accept, inner.start)
+            self.add_epsilon(inner.accept, accept)
+            return _Fragment(start, accept)
+        if isinstance(node, Plus):
+            inner = self.build(node.child)
+            start = self.new_state()
+            accept = self.new_state()
+            self.add_epsilon(start, inner.start)
+            self.add_epsilon(inner.accept, inner.start)
+            self.add_epsilon(inner.accept, accept)
+            return _Fragment(start, accept)
+        if isinstance(node, Optional_):
+            inner = self.build(node.child)
+            start = self.new_state()
+            accept = self.new_state()
+            self.add_epsilon(start, inner.start)
+            self.add_epsilon(start, accept)
+            self.add_epsilon(inner.accept, accept)
+            return _Fragment(start, accept)
+        raise AutomatonError(f"unsupported AST node {type(node).__name__}")
+
+    def finish(self, fragment: _Fragment) -> NFA:
+        return NFA(
+            num_states=self._next_state,
+            alphabet=frozenset(self.alphabet),
+            transitions=self.transitions,
+            epsilon=self.epsilon,
+            start=fragment.start,
+            accepts=frozenset({fragment.accept}),
+        )
+
+
+def regex_to_nfa(node: RegexNode) -> NFA:
+    """Compile a regex AST into an NFA (``ConvertToNFA`` of Algorithm 2)."""
+    builder = NFABuilder()
+    fragment = builder.build(node)
+    return builder.finish(fragment)

@@ -1,0 +1,245 @@
+"""Probabilistic finite-state automata (Definition 1 of the paper).
+
+A PFA is a six-tuple ``(Q, Sigma, delta, q0, F, P)`` where ``P`` maps each
+transition to a probability and, for every non-absorbing state, outgoing
+probabilities sum to one (Eq. (1)).  The paper's definition drops initial
+and final state probabilities; accordingly absorbing final states carry
+an empty probability row.
+
+Construction paths:
+
+* :func:`build_pfa` — attach a :class:`TransitionDistribution` to a DFA
+  (``ConstructPFA`` of Algorithm 2).  Rows missing from the distribution
+  fall back to uniform, matching the paper's remark that users may not
+  know all probabilities.
+* :func:`pfa_from_regex` — the full ``RE + PD -> PFA`` pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.automata.dfa import DFA, minimize_dfa, nfa_to_dfa
+from repro.automata.distributions import (
+    ROW_SUM_TOLERANCE,
+    TransitionDistribution,
+    validate_distribution,
+)
+from repro.automata.nfa import regex_to_nfa
+from repro.automata.regex_parser import parse_regex
+from repro.errors import AutomatonError, DistributionError
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One probabilistic arc ``(q, a, q')`` with probability ``p``."""
+
+    source: int
+    symbol: str
+    target: int
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.probability <= 1.0:
+            raise AutomatonError(
+                f"transition probability must lie in (0, 1], got "
+                f"{self.probability}"
+            )
+
+
+@dataclass
+class PFA:
+    """Probabilistic finite-state automaton (Definition 1).
+
+    Attributes mirror the six-tuple: ``num_states`` enumerates ``Q``,
+    ``alphabet`` is ``Sigma``, ``transitions`` realises both ``delta`` and
+    ``P``, ``start`` is ``q0`` and ``accepts`` is ``F``.
+    """
+
+    num_states: int
+    alphabet: frozenset[str]
+    transitions: dict[int, dict[str, Transition]]
+    start: int
+    accepts: frozenset[int]
+    state_labels: dict[int, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- structure -------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the six-tuple's well-formedness, including Eq. (1)."""
+        if not 0 <= self.start < self.num_states:
+            raise AutomatonError(f"start state {self.start} out of range")
+        for state in self.accepts:
+            if not 0 <= state < self.num_states:
+                raise AutomatonError(f"final state {state} out of range")
+        for state, arcs in self.transitions.items():
+            if not 0 <= state < self.num_states:
+                raise AutomatonError(f"state {state} out of range")
+            total = 0.0
+            for symbol, transition in arcs.items():
+                if symbol not in self.alphabet:
+                    raise AutomatonError(f"unknown symbol {symbol!r}")
+                if transition.source != state or transition.symbol != symbol:
+                    raise AutomatonError(
+                        "transition key does not match its contents"
+                    )
+                if not 0 <= transition.target < self.num_states:
+                    raise AutomatonError(
+                        f"target {transition.target} out of range"
+                    )
+                total += transition.probability
+            if arcs and abs(total - 1.0) > ROW_SUM_TOLERANCE:
+                raise DistributionError(
+                    f"outgoing probabilities of state {state} sum to "
+                    f"{total}, violating Eq. (1)"
+                )
+
+    def outgoing(self, state: int) -> list[Transition]:
+        """Outgoing transitions of ``state``, sorted by symbol for
+        deterministic iteration order."""
+        arcs = self.transitions.get(state, {})
+        return [arcs[symbol] for symbol in sorted(arcs)]
+
+    def step(self, state: int, symbol: str) -> Transition | None:
+        """The transition out of ``state`` on ``symbol``, if any."""
+        return self.transitions.get(state, {}).get(symbol)
+
+    def is_final(self, state: int) -> bool:
+        return state in self.accepts
+
+    def is_absorbing(self, state: int) -> bool:
+        """True when ``state`` has no outgoing transitions."""
+        return not self.transitions.get(state)
+
+    def has_probabilistic_choice(self, state: int) -> bool:
+        """Algorithm 2's "Q has probabilistic choices": more than one
+        outgoing arc."""
+        return len(self.transitions.get(state, {})) > 1
+
+    def label(self, state: int) -> str:
+        """Human-readable name of ``state`` (``q3`` when unlabelled)."""
+        return self.state_labels.get(state, f"q{state}")
+
+    # -- language --------------------------------------------------------
+
+    def word_probability(self, word: list[str] | tuple[str, ...]) -> float:
+        """Probability of *generating* ``word`` and ending in a final
+        state (zero if the walk leaves the automaton or ends elsewhere)."""
+        state = self.start
+        probability = 1.0
+        for symbol in word:
+            transition = self.step(state, symbol)
+            if transition is None:
+                return 0.0
+            probability *= transition.probability
+            state = transition.target
+        return probability if state in self.accepts else 0.0
+
+    def walk_probability(self, word: list[str] | tuple[str, ...]) -> float:
+        """Probability of the *prefix walk* ``word`` regardless of where
+        it ends.  Used to score test-pattern prefixes."""
+        state = self.start
+        probability = 1.0
+        for symbol in word:
+            transition = self.step(state, symbol)
+            if transition is None:
+                return 0.0
+            probability *= transition.probability
+            state = transition.target
+        return probability
+
+    def accepts_word(self, word: list[str] | tuple[str, ...]) -> bool:
+        return self.word_probability(word) > 0.0
+
+    def to_dot(self) -> str:
+        """Render to Graphviz DOT, handy for eyeballing against Fig. 5."""
+        lines = ["digraph pfa {", "  rankdir=LR;"]
+        for state in range(self.num_states):
+            shape = "doublecircle" if state in self.accepts else "circle"
+            lines.append(f'  {state} [label="{self.label(state)}" shape={shape}];')
+        lines.append(f"  __start [shape=point];")
+        lines.append(f"  __start -> {self.start};")
+        for state in range(self.num_states):
+            for transition in self.outgoing(state):
+                lines.append(
+                    f"  {transition.source} -> {transition.target} "
+                    f'[label="{transition.symbol} ({transition.probability:g})"];'
+                )
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def build_pfa(
+    dfa: DFA,
+    distribution: TransitionDistribution | None = None,
+    state_labels: dict[int, str] | None = None,
+) -> PFA:
+    """Attach probabilities to a DFA (``ConstructPFA`` of Algorithm 2).
+
+    Rows absent from ``distribution`` (or all rows, when it is ``None``)
+    get uniform probabilities over the state's outgoing arcs.  The
+    supplied rows are normalised, then the result is validated against
+    Eq. (1).
+    """
+    outgoing: dict[int, list[str]] = {
+        state: sorted(arcs) for state, arcs in dfa.transitions.items()
+    }
+    resolved = TransitionDistribution()
+    provided = distribution.normalized() if distribution is not None else None
+    provided_states = provided.states() if provided is not None else set()
+    for state, symbols in outgoing.items():
+        if provided is not None and state in provided_states:
+            for symbol in symbols:
+                weight = provided.get(state, symbol)
+                resolved.weights[(state, symbol)] = weight
+        else:
+            share = 1.0 / len(symbols)
+            for symbol in symbols:
+                resolved.weights[(state, symbol)] = share
+    validate_distribution(
+        resolved, {state: symbols for state, symbols in outgoing.items()}
+    )
+    transitions: dict[int, dict[str, Transition]] = {}
+    for state, symbols in outgoing.items():
+        row: dict[str, Transition] = {}
+        for symbol in symbols:
+            target = dfa.transitions[state][symbol]
+            row[symbol] = Transition(
+                source=state,
+                symbol=symbol,
+                target=target,
+                probability=resolved.get(state, symbol),
+            )
+        transitions[state] = row
+    return PFA(
+        num_states=dfa.num_states,
+        alphabet=dfa.alphabet,
+        transitions=transitions,
+        start=dfa.start,
+        accepts=dfa.accepts,
+        state_labels=dict(state_labels or {}),
+    )
+
+
+def pfa_from_regex(
+    regex: str,
+    distribution: TransitionDistribution | None = None,
+    alphabet: list[str] | None = None,
+    minimize: bool = True,
+) -> PFA:
+    """Full pipeline: parse ``regex``, build the NFA, determinise,
+    optionally minimise, and attach ``distribution``.
+
+    This is the composition ``ConstructPFA(ConvertToNFA(RE), PD)`` from
+    Algorithm 2.  When ``distribution`` refers to states, those are state
+    ids of the (minimised) DFA; use :func:`repro.ptest.generator`
+    helpers to build distributions by state label instead.
+    """
+    ast = parse_regex(regex, alphabet=alphabet)
+    dfa = nfa_to_dfa(regex_to_nfa(ast))
+    if minimize:
+        dfa = minimize_dfa(dfa)
+    return build_pfa(dfa, distribution)

@@ -1,0 +1,207 @@
+"""Abstract syntax tree for the service regular expressions of pTest.
+
+The alphabet of these regular expressions is a set of *service symbols*
+(multi-character names such as ``TC`` or ``TCH`` in the paper's RE (2)),
+not single characters.  The AST is therefore built over opaque symbol
+strings and the parser decides how the input is tokenized.
+
+Nodes are immutable; equality is structural, which the tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class RegexNode:
+    """Base class for regex AST nodes."""
+
+    def symbols(self) -> frozenset[str]:
+        """Return the set of alphabet symbols appearing in this subtree."""
+        return frozenset(self._iter_symbols())
+
+    def _iter_symbols(self) -> Iterator[str]:
+        return iter(())
+
+    def nullable(self) -> bool:
+        """Whether the language of this node contains the empty string."""
+        raise NotImplementedError
+
+    def to_string(self) -> str:
+        """Render back to a parseable regular-expression string."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - convenience alias
+        return self.to_string()
+
+
+@dataclass(frozen=True)
+class Empty(RegexNode):
+    """The empty language (matches nothing).  Rarely written by users but
+    useful as an algebraic identity for union."""
+
+    def nullable(self) -> bool:
+        return False
+
+    def to_string(self) -> str:
+        return "∅"  # the empty-set sign
+
+
+@dataclass(frozen=True)
+class Epsilon(RegexNode):
+    """The language containing only the empty string."""
+
+    def nullable(self) -> bool:
+        return True
+
+    def to_string(self) -> str:
+        return "ε"  # lowercase epsilon
+
+
+@dataclass(frozen=True)
+class Literal(RegexNode):
+    """A single alphabet symbol (a slave-service name such as ``TR``)."""
+
+    symbol: str
+
+    def __post_init__(self) -> None:
+        if not self.symbol:
+            raise ValueError("Literal symbol must be non-empty")
+
+    def _iter_symbols(self) -> Iterator[str]:
+        yield self.symbol
+
+    def nullable(self) -> bool:
+        return False
+
+    def to_string(self) -> str:
+        return self.symbol
+
+
+@dataclass(frozen=True)
+class Concat(RegexNode):
+    """Concatenation of two sub-expressions."""
+
+    left: RegexNode
+    right: RegexNode
+
+    def _iter_symbols(self) -> Iterator[str]:
+        yield from self.left._iter_symbols()
+        yield from self.right._iter_symbols()
+
+    def nullable(self) -> bool:
+        return self.left.nullable() and self.right.nullable()
+
+    def to_string(self) -> str:
+        parts = []
+        for child in (self.left, self.right):
+            text = child.to_string()
+            if isinstance(child, Union):
+                text = f"({text})"
+            parts.append(text)
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Union(RegexNode):
+    """Alternation (``|``) of two sub-expressions."""
+
+    left: RegexNode
+    right: RegexNode
+
+    def _iter_symbols(self) -> Iterator[str]:
+        yield from self.left._iter_symbols()
+        yield from self.right._iter_symbols()
+
+    def nullable(self) -> bool:
+        return self.left.nullable() or self.right.nullable()
+
+    def to_string(self) -> str:
+        return f"{self.left.to_string()} | {self.right.to_string()}"
+
+
+def _postfix_operand_string(child: RegexNode) -> str:
+    text = child.to_string()
+    if isinstance(child, (Union, Concat)):
+        text = f"({text})"
+    return text
+
+
+@dataclass(frozen=True)
+class Star(RegexNode):
+    """Kleene star: zero or more repetitions."""
+
+    child: RegexNode
+
+    def _iter_symbols(self) -> Iterator[str]:
+        yield from self.child._iter_symbols()
+
+    def nullable(self) -> bool:
+        return True
+
+    def to_string(self) -> str:
+        return f"{_postfix_operand_string(self.child)}*"
+
+
+@dataclass(frozen=True)
+class Plus(RegexNode):
+    """One or more repetitions (``x+`` is sugar for ``x x*``)."""
+
+    child: RegexNode
+
+    def _iter_symbols(self) -> Iterator[str]:
+        yield from self.child._iter_symbols()
+
+    def nullable(self) -> bool:
+        return self.child.nullable()
+
+    def to_string(self) -> str:
+        return f"{_postfix_operand_string(self.child)}+"
+
+
+@dataclass(frozen=True)
+class Optional_(RegexNode):
+    """Zero or one occurrence (``x?``).
+
+    Named with a trailing underscore to avoid clashing with
+    :class:`typing.Optional` in importing modules.
+    """
+
+    child: RegexNode
+
+    def _iter_symbols(self) -> Iterator[str]:
+        yield from self.child._iter_symbols()
+
+    def nullable(self) -> bool:
+        return True
+
+    def to_string(self) -> str:
+        return f"{_postfix_operand_string(self.child)}?"
+
+
+def concat_all(nodes: list[RegexNode]) -> RegexNode:
+    """Fold a list of nodes into a right-nested concatenation.
+
+    An empty list yields :class:`Epsilon`; a single node is returned as-is.
+    """
+    if not nodes:
+        return Epsilon()
+    result = nodes[-1]
+    for node in reversed(nodes[:-1]):
+        result = Concat(node, result)
+    return result
+
+
+def union_all(nodes: list[RegexNode]) -> RegexNode:
+    """Fold a list of nodes into a right-nested union.
+
+    An empty list yields :class:`Empty` (the identity of union).
+    """
+    if not nodes:
+        return Empty()
+    result = nodes[-1]
+    for node in reversed(nodes[:-1]):
+        result = Union(node, result)
+    return result

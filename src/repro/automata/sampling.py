@@ -1,0 +1,161 @@
+"""Sampling symbol sequences from a PFA (the core of Algorithm 2).
+
+Algorithm 2 walks the PFA for ``s`` steps: at each state with a
+probabilistic choice it calls ``MakeChoice``; a state with exactly one
+outgoing arc is followed deterministically.  Two behaviours are supported
+when the walk reaches an absorbing final state before ``s`` symbols have
+been produced:
+
+* ``on_final="stop"`` — the pattern ends early (the task's life cycle is
+  complete);
+* ``on_final="restart"`` — the walk resumes from the initial state, which
+  models continuous stress testing (the paper's test case 1 "continued to
+  create tasks and removed them when their work was done").
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.automata.pfa import PFA, Transition
+from repro.errors import SamplingError
+
+OnFinal = Literal["stop", "restart"]
+
+
+@dataclass(frozen=True)
+class SampledPattern:
+    """A sampled walk: the emitted symbols and the visited state path.
+
+    ``states`` has one more element than ``symbols`` per segment; restarts
+    insert the initial state again, so ``len(states) >= len(symbols) + 1``.
+    ``log_probability`` is the natural-log probability of the walk
+    (sum over chosen transitions), comparable across equal-length walks.
+    """
+
+    symbols: tuple[str, ...]
+    states: tuple[int, ...]
+    log_probability: float
+    restarts: int
+
+
+@dataclass
+class PatternSampler:
+    """Draws symbol sequences from a PFA with a private RNG.
+
+    Parameters
+    ----------
+    pfa:
+        The automaton to walk.
+    seed:
+        Seed for the private :class:`random.Random`; runs are reproducible
+        given the seed.
+    on_final:
+        Behaviour at absorbing final states (see module docstring).
+    """
+
+    pfa: PFA
+    seed: int | None = None
+    on_final: OnFinal = "stop"
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.on_final not in ("stop", "restart"):
+            raise SamplingError(f"unknown on_final mode {self.on_final!r}")
+        self._rng = random.Random(self.seed)
+        if self.pfa.is_absorbing(self.pfa.start):
+            raise SamplingError("PFA start state has no outgoing transitions")
+
+    def _choose(self, state: int) -> Transition:
+        """``MakeChoice`` of Algorithm 2: roulette-wheel selection."""
+        arcs = self.pfa.outgoing(state)
+        if not arcs:
+            raise SamplingError(f"state {state} is absorbing")
+        if len(arcs) == 1:
+            return arcs[0]
+        pick = self._rng.random()
+        cumulative = 0.0
+        for transition in arcs:
+            cumulative += transition.probability
+            if pick < cumulative:
+                return transition
+        return arcs[-1]  # guard against floating-point undershoot
+
+    def sample(self, size: int) -> SampledPattern:
+        """Generate one pattern with at most ``size`` symbols.
+
+        ``size`` counts emitted symbols (service invocations); the paper's
+        ``s`` counts pattern states, which for a connected walk is the
+        same number plus one.
+        """
+        if size < 1:
+            raise SamplingError(f"pattern size must be >= 1, got {size}")
+        symbols: list[str] = []
+        states: list[int] = [self.pfa.start]
+        log_probability = 0.0
+        restarts = 0
+        state = self.pfa.start
+        while len(symbols) < size:
+            if self.pfa.is_absorbing(state):
+                if self.on_final == "stop":
+                    break
+                restarts += 1
+                state = self.pfa.start
+                states.append(state)
+                continue
+            transition = self._choose(state)
+            symbols.append(transition.symbol)
+            log_probability += math.log(transition.probability)
+            state = transition.target
+            states.append(state)
+        return SampledPattern(
+            symbols=tuple(symbols),
+            states=tuple(states),
+            log_probability=log_probability,
+            restarts=restarts,
+        )
+
+    def sample_many(self, count: int, size: int) -> list[SampledPattern]:
+        """Generate ``count`` patterns (the loop in Algorithm 1, line 1-3)."""
+        if count < 0:
+            raise SamplingError(f"pattern count must be >= 0, got {count}")
+        return [self.sample(size) for _ in range(count)]
+
+    def sample_to_final(self, max_size: int = 10_000) -> SampledPattern:
+        """Walk until an absorbing final state is reached (a complete task
+        life cycle), or raise if ``max_size`` symbols pass without one."""
+        import math
+
+        symbols: list[str] = []
+        states: list[int] = [self.pfa.start]
+        log_probability = 0.0
+        state = self.pfa.start
+        while not self.pfa.is_absorbing(state):
+            if len(symbols) >= max_size:
+                raise SamplingError(
+                    f"no final state reached within {max_size} symbols"
+                )
+            transition = self._choose(state)
+            symbols.append(transition.symbol)
+            log_probability += math.log(transition.probability)
+            state = transition.target
+            states.append(state)
+        return SampledPattern(
+            symbols=tuple(symbols),
+            states=tuple(states),
+            log_probability=log_probability,
+            restarts=0,
+        )
+
+
+def sample_pattern(
+    pfa: PFA,
+    size: int,
+    seed: int | None = None,
+    on_final: OnFinal = "stop",
+) -> SampledPattern:
+    """One-shot convenience wrapper around :class:`PatternSampler`."""
+    return PatternSampler(pfa, seed=seed, on_final=on_final).sample(size)

@@ -1,0 +1,27 @@
+"""Baseline testers pTest is compared against (E10).
+
+* :mod:`repro.baselines.random_tester` — a ConTest-style tester:
+  uniform random service noise with no structural model of legal
+  sequences ("ConTest debugs multi-threaded programs by randomly
+  interleaving the execution of threads").
+* :mod:`repro.baselines.systematic` — a CHESS-lite bounded systematic
+  explorer: enumerate merge interleavings with a context-switch bound
+  ("CHESS uses model checking techniques to provide higher fault
+  coverage ... not efficient when searching infinite state spaces").
+"""
+
+from repro.baselines.random_tester import (
+    RandomTester,
+    uniform_noise_pfa,
+)
+from repro.baselines.systematic import (
+    SystematicExplorer,
+    interleavings,
+)
+
+__all__ = [
+    "RandomTester",
+    "uniform_noise_pfa",
+    "SystematicExplorer",
+    "interleavings",
+]

@@ -1,0 +1,70 @@
+"""ConTest-style random noise tester.
+
+ConTest perturbs schedules with random noise and no model of which
+operation sequences are meaningful.  The analogue in pTest's setting is
+a "pattern generator" that draws services uniformly at random with no
+legality structure: a single-state automaton with a self-loop per
+service.  Most of its sequences are illegal (TR before TS, TD on absent
+tasks, ...), so a large share of the command budget burns on error
+replies instead of driving the slave into interesting states — the
+structural reason the adaptive PFA approach wins in E10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from repro.automata.pfa import PFA, Transition
+from repro.pcore.kernel import PCoreKernel
+from repro.pcore.programs import TaskProgram
+from repro.ptest.config import PTestConfig
+from repro.ptest.harness import AdaptiveTest, TestRunResult
+
+
+def uniform_noise_pfa(alphabet: Iterable[str]) -> PFA:
+    """One state, a self-loop per symbol, uniform probabilities.
+
+    Never absorbing: walks have exactly the requested size, matching a
+    noise tester that just keeps issuing random commands.
+    """
+    symbols = sorted(alphabet)
+    share = 1.0 / len(symbols)
+    transitions = {
+        0: {
+            symbol: Transition(
+                source=0, symbol=symbol, target=0, probability=share
+            )
+            for symbol in symbols
+        }
+    }
+    return PFA(
+        num_states=1,
+        alphabet=frozenset(symbols),
+        transitions=transitions,
+        start=0,
+        accepts=frozenset({0}),
+        state_labels={0: "noise"},
+    )
+
+
+@dataclass
+class RandomTester:
+    """Runs the harness with unstructured random patterns.
+
+    Mirrors :class:`~repro.ptest.harness.AdaptiveTest`'s interface so
+    comparison sweeps can treat both uniformly.
+    """
+
+    config: PTestConfig
+    programs: Mapping[str, TaskProgram] = field(default_factory=dict)
+    setup: Callable[[PCoreKernel], None] | None = None
+
+    def run(self) -> TestRunResult:
+        test = AdaptiveTest(
+            config=self.config,
+            programs=self.programs,
+            pfa=uniform_noise_pfa(self.config.alphabet),
+            setup=self.setup,
+        )
+        return test.run()

@@ -1,0 +1,141 @@
+"""CHESS-lite: bounded systematic exploration of interleavings.
+
+CHESS enumerates thread schedules exhaustively under a preemption bound.
+The analogue here enumerates *merge orders* of the given test patterns:
+every interleaving of the pattern sequences whose number of pattern
+switches does not exceed ``switch_bound``, executed deterministically
+one by one.  Exhaustive within the bound — complete on tiny inputs,
+combinatorially explosive beyond them, which is exactly the trade-off
+the paper cites ("model checking is not efficient when searching
+infinite state spaces").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping
+
+from repro.pcore.kernel import PCoreKernel
+from repro.pcore.programs import TaskProgram
+from repro.ptest.config import PTestConfig
+from repro.ptest.harness import AdaptiveTest, TestRunResult
+from repro.ptest.patterns import MergedPattern, PatternCommand, TestPattern
+
+
+def interleavings(
+    patterns: list[TestPattern],
+    switch_bound: int | None = None,
+    limit: int | None = None,
+) -> Iterator[list[int]]:
+    """Yield merge orders (pattern-id sequences) depth-first.
+
+    ``switch_bound`` caps how many times the emitting pattern may change
+    (CHESS's preemption bound); ``limit`` caps the total count yielded.
+    """
+    sizes = {pattern.pattern_id: len(pattern) for pattern in patterns}
+    ids = [pattern.pattern_id for pattern in patterns]
+    total = sum(sizes.values())
+    yielded = 0
+
+    def walk(
+        order: list[int], remaining: dict[int, int], switches: int
+    ) -> Iterator[list[int]]:
+        nonlocal yielded
+        if limit is not None and yielded >= limit:
+            return
+        if len(order) == total:
+            yielded += 1
+            yield list(order)
+            return
+        for pattern_id in ids:
+            if remaining[pattern_id] == 0:
+                continue
+            next_switches = switches
+            if order and order[-1] != pattern_id:
+                next_switches += 1
+                if switch_bound is not None and next_switches > switch_bound:
+                    continue
+            order.append(pattern_id)
+            remaining[pattern_id] -= 1
+            yield from walk(order, remaining, next_switches)
+            order.pop()
+            remaining[pattern_id] += 1
+            if limit is not None and yielded >= limit:
+                return
+
+    yield from walk([], dict(sizes), 0)
+
+
+def order_to_merged(
+    patterns: list[TestPattern], order: list[int]
+) -> MergedPattern:
+    """Materialise one merge order as a :class:`MergedPattern`."""
+    cursor = {pattern.pattern_id: 0 for pattern in patterns}
+    by_id = {pattern.pattern_id: pattern for pattern in patterns}
+    commands = []
+    for position, pattern_id in enumerate(order):
+        index = cursor[pattern_id]
+        commands.append(
+            PatternCommand(
+                symbol=by_id[pattern_id].symbols[index],
+                pattern_id=pattern_id,
+                sequence_in_pattern=index + 1,
+                position=position,
+            )
+        )
+        cursor[pattern_id] = index + 1
+    merged = MergedPattern(
+        commands=commands, op="systematic", sources=list(patterns)
+    )
+    merged.validate()
+    return merged
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of a bounded systematic exploration."""
+
+    executed: int
+    found: TestRunResult | None
+    #: Interleavings that existed beyond ``max_runs`` (un-explored).
+    truncated: bool
+
+    @property
+    def found_bug(self) -> bool:
+        return self.found is not None and self.found.found_bug
+
+
+@dataclass
+class SystematicExplorer:
+    """Enumerates and executes interleavings until a bug or exhaustion."""
+
+    config: PTestConfig
+    patterns: list[TestPattern]
+    programs: Mapping[str, TaskProgram] = field(default_factory=dict)
+    setup: Callable[[PCoreKernel], None] | None = None
+    switch_bound: int | None = None
+    max_runs: int = 200
+
+    def explore(self) -> ExplorationResult:
+        executed = 0
+        orders = interleavings(
+            self.patterns, switch_bound=self.switch_bound
+        )
+        for order in orders:
+            if executed >= self.max_runs:
+                return ExplorationResult(
+                    executed=executed, found=None, truncated=True
+                )
+            merged = order_to_merged(self.patterns, order)
+            result = AdaptiveTest(
+                config=self.config,
+                programs=self.programs,
+                setup=self.setup,
+                merged_override=merged,
+            ).run()
+            executed += 1
+            if result.found_bug:
+                return ExplorationResult(
+                    executed=executed, found=result, truncated=False
+                )
+        return ExplorationResult(executed=executed, found=None, truncated=False)

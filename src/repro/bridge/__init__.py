@@ -1,0 +1,30 @@
+"""The pCore Bridge: command/reply middleware over the mailbox bank.
+
+Models the middleware of the paper's reference [16] ("Enabling streaming
+remoting on embedded dual-core processors") at the level pTest uses it:
+the master posts framed service commands into the ``arm2dsp_cmd``
+mailbox, the slave polls them into the kernel, and replies travel back
+through ``dsp2arm_reply``.  Frames are genuinely encoded into u32 words
+plus a shared-memory descriptor so mailbox capacity and memory pressure
+stay honest.
+"""
+
+from repro.bridge.protocol import (
+    CommandFrame,
+    decode_request,
+    decode_result,
+    encode_request,
+    encode_result,
+)
+from repro.bridge.bridge import BridgeMaster, SlaveBridgeAdapter, build_bridge
+
+__all__ = [
+    "CommandFrame",
+    "decode_request",
+    "decode_result",
+    "encode_request",
+    "encode_result",
+    "BridgeMaster",
+    "SlaveBridgeAdapter",
+    "build_bridge",
+]

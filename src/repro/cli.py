@@ -1,0 +1,154 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the examples so the tool is usable without writing
+Python:
+
+``run``            an adaptive stress test with explicit (n, s, op, seed)
+``stress``         test case 1 (GC crash, with --fixed-gc control)
+``philosophers``   test case 2 (deadlock, choose --op / --ordered)
+``fig1``           the Fig. 1 example (--order good|bad)
+``sweep``          detection-rate sweep of a catalogued fault over seeds
+``faults``         list the seeded-fault catalogue
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.faults import FAULT_CATALOGUE, build_fault_scenario, fault_names
+from repro.ptest.config import PTestConfig
+from repro.ptest.harness import run_adaptive_test
+from repro.ptest.merger import MERGE_OPS
+from repro.workloads.fig1 import run_fig1
+from repro.workloads.scenarios import philosophers_case2, stress_case1
+
+
+def _print_result(result) -> int:
+    print(result.summary())
+    if result.found_bug:
+        print(result.report.describe())
+        return 1
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = PTestConfig(
+        pattern_count=args.patterns,
+        pattern_size=args.size,
+        op=args.op,
+        seed=args.seed,
+        max_ticks=args.max_ticks,
+    )
+    print(f"adaptive test: {config.describe()}")
+    return _print_result(run_adaptive_test(config))
+
+
+def _cmd_stress(args: argparse.Namespace) -> int:
+    test = stress_case1(seed=args.seed, buggy_gc=not args.fixed_gc)
+    return _print_result(test.run())
+
+
+def _cmd_philosophers(args: argparse.Namespace) -> int:
+    test = philosophers_case2(
+        seed=args.seed, op=args.op, ordered=args.ordered
+    )
+    return _print_result(test.run())
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    result = run_fig1(args.order)
+    outcome = "terminated" if result.terminated else "wedged"
+    print(f"order={args.order}: {outcome} after {result.ticks} ticks")
+    print(f"  reached: {''.join(sorted(result.reached))}")
+    if result.unreachable:
+        print(f"  unreachable: {''.join(sorted(result.unreachable))}")
+    for anomaly in result.anomalies:
+        print(f"  {anomaly.describe()}")
+    return 0 if result.terminated else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = next(
+        (s for s in FAULT_CATALOGUE if s.name == args.fault), None
+    )
+    if spec is None:
+        print(f"unknown fault {args.fault!r}; try: {fault_names()}")
+        return 2
+    found = 0
+    for seed in range(args.seeds):
+        result = build_fault_scenario(args.fault, seed=seed).run()
+        verdict = (
+            result.report.primary.kind.value if result.found_bug else "clean"
+        )
+        print(f"  seed {seed}: {verdict}")
+        found += int(result.found_bug)
+    expected = spec.expected.value if spec.expected else "none"
+    print(
+        f"{args.fault}: detected {found}/{args.seeds} "
+        f"(expected anomaly: {expected})"
+    )
+    return 0
+
+
+def _cmd_faults(_args: argparse.Namespace) -> int:
+    for spec in FAULT_CATALOGUE:
+        expected = spec.expected.value if spec.expected else "none"
+        print(f"{spec.name:>22}  [{expected:>10}]  {spec.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="pTest (DATE 2009) reproduction — adaptive stress "
+        "testing of concurrent software on a simulated embedded "
+        "multicore platform",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run an adaptive stress test")
+    run_p.add_argument("--patterns", "-n", type=int, default=4)
+    run_p.add_argument("--size", "-s", type=int, default=8)
+    run_p.add_argument("--op", choices=sorted(MERGE_OPS), default="round_robin")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--max-ticks", type=int, default=20_000)
+    run_p.set_defaults(func=_cmd_run)
+
+    stress_p = sub.add_parser("stress", help="test case 1 (GC crash)")
+    stress_p.add_argument("--seed", type=int, default=0)
+    stress_p.add_argument(
+        "--fixed-gc", action="store_true", help="run the control instead"
+    )
+    stress_p.set_defaults(func=_cmd_stress)
+
+    phil_p = sub.add_parser("philosophers", help="test case 2 (deadlock)")
+    phil_p.add_argument("--seed", type=int, default=0)
+    phil_p.add_argument("--op", choices=sorted(MERGE_OPS), default="cyclic")
+    phil_p.add_argument(
+        "--ordered", action="store_true", help="deadlock-free control"
+    )
+    phil_p.set_defaults(func=_cmd_philosophers)
+
+    fig1_p = sub.add_parser("fig1", help="the Fig. 1 example")
+    fig1_p.add_argument("--order", choices=("good", "bad"), default="bad")
+    fig1_p.set_defaults(func=_cmd_fig1)
+
+    sweep_p = sub.add_parser("sweep", help="fault detection sweep")
+    sweep_p.add_argument("fault", help="fault name (see `faults`)")
+    sweep_p.add_argument("--seeds", type=int, default=5)
+    sweep_p.set_defaults(func=_cmd_sweep)
+
+    faults_p = sub.add_parser("faults", help="list the fault catalogue")
+    faults_p.set_defaults(func=_cmd_faults)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

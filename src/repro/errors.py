@@ -1,0 +1,91 @@
+"""Exception hierarchy shared across the repro library.
+
+Every exception raised by this library derives from :class:`ReproError`,
+so callers can catch one type at an API boundary.  Subsystems define more
+specific subclasses here (or in their own ``errors`` module deriving from
+these) so that tests can assert on precise failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class RegexSyntaxError(ReproError):
+    """Raised when a regular expression cannot be parsed.
+
+    Attributes
+    ----------
+    position:
+        Zero-based index into the token stream where parsing failed, or
+        ``None`` when the failure is not tied to one token.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class AutomatonError(ReproError):
+    """Raised for structurally invalid automata (bad states, arcs, ...)."""
+
+
+class DistributionError(ReproError):
+    """Raised when a probability distribution is malformed.
+
+    This covers negative weights, rows that do not sum to one (violating
+    Definition 1's stochasticity condition, Eq. (1) in the paper), and
+    distributions naming transitions that do not exist.
+    """
+
+
+class SamplingError(ReproError):
+    """Raised when pattern sampling cannot proceed (e.g. dead states)."""
+
+
+class SimulationError(ReproError):
+    """Raised for errors in the discrete-event SoC simulator."""
+
+
+class MailboxError(SimulationError):
+    """Raised on invalid mailbox operations (bad index, overflow policy)."""
+
+
+class MemoryError_(SimulationError):
+    """Raised on invalid shared-memory accesses (out of range, misaligned).
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class KernelError(ReproError):
+    """Base class for pCore kernel errors (the *modelled* kernel's errors)."""
+
+
+class ServiceError(KernelError):
+    """A kernel service was invoked with invalid arguments or in an
+    illegal task state (e.g. resuming a task that is not suspended)."""
+
+
+class TaskLimitError(ServiceError):
+    """Raised when creating a task would exceed the kernel's task limit."""
+
+
+class KernelPanicError(KernelError):
+    """The slave kernel crashed.  The harness converts this into a
+    recorded :class:`~repro.ptest.report.BugReport` rather than letting it
+    escape a test run."""
+
+
+class BridgeError(ReproError):
+    """Raised for protocol violations in the master-slave bridge."""
+
+
+class ConfigError(ReproError):
+    """Raised when a test-harness configuration is inconsistent."""
+
+
+class DetectorError(ReproError):
+    """Raised for misuse of the bug detector API."""

@@ -1,0 +1,22 @@
+"""Fault catalogue and injection (the ground truth for detection
+experiments).
+
+The paper's two case studies each revolve around one seeded fault; the
+catalogue generalises that into a set of known faults with expected
+anomaly classes, so detection-rate experiments (E8-E10) have ground
+truth to score against.
+"""
+
+from repro.faults.injection import (
+    FAULT_CATALOGUE,
+    FaultSpec,
+    build_fault_scenario,
+    fault_names,
+)
+
+__all__ = [
+    "FAULT_CATALOGUE",
+    "FaultSpec",
+    "build_fault_scenario",
+    "fault_names",
+]

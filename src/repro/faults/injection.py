@@ -1,0 +1,145 @@
+"""Seeded faults with known signatures.
+
+Each :class:`FaultSpec` builds an :class:`~repro.ptest.harness.
+AdaptiveTest` containing exactly one known fault (or none, for the
+control), together with the anomaly class a correct detector should
+report.  Detection-rate sweeps iterate the catalogue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator
+
+from repro.errors import ConfigError
+from repro.pcore.kernel import KernelConfig
+from repro.pcore.programs import Compute, Exit, Syscall, TaskContext, YieldCpu
+from repro.ptest.config import PTestConfig
+from repro.ptest.detector import AnomalyKind
+from repro.ptest.harness import AdaptiveTest
+from repro.workloads.scenarios import (
+    lifecycle_pfa,
+    philosophers_case2,
+    producer_consumer_scenario,
+    stress_case1,
+)
+
+
+def _spin_hog_program(ctx: TaskContext) -> Generator[Syscall, object, None]:
+    """Computes forever without yielding: starves lower priorities."""
+    del ctx
+    while True:
+        yield Compute(50)
+
+
+def _polite_program(ctx: TaskContext) -> Generator[Syscall, object, None]:
+    """Computes a little, yields, exits — a well-behaved task."""
+    del ctx
+    for _ in range(40):
+        yield Compute(1)
+        yield YieldCpu()
+    yield Exit(0)
+
+
+def _priority_starvation(seed: int) -> AdaptiveTest:
+    """Pair 1 (higher band = higher priority) hogs the CPU; pair 0's
+    polite task starves in READY."""
+    config = PTestConfig(
+        pattern_count=2,
+        pattern_size=1,
+        op="round_robin",
+        seed=seed,
+        program="polite",
+        pair_programs=("polite", "hog"),
+        max_ticks=10_000,
+        progress_window=400,
+        reply_timeout=20_000,
+    )
+    return AdaptiveTest(
+        config=config,
+        programs={"polite": _polite_program, "hog": _spin_hog_program},
+        pfa=lifecycle_pfa(("TC",)),
+    )
+
+
+def _healthy_control(seed: int) -> AdaptiveTest:
+    """No fault: the full pCore PFA stress at moderate scale."""
+    config = PTestConfig(
+        pattern_count=4,
+        pattern_size=6,
+        op="round_robin",
+        seed=seed,
+        program="polite",
+        max_ticks=20_000,
+        kernel=KernelConfig(buggy_gc=False),
+    )
+    return AdaptiveTest(config=config, programs={"polite": _polite_program})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One catalogued fault."""
+
+    name: str
+    description: str
+    #: Anomaly class a correct detector reports (``None`` = no anomaly).
+    expected: AnomalyKind | None
+    build: Callable[[int], AdaptiveTest]
+
+
+FAULT_CATALOGUE: tuple[FaultSpec, ...] = (
+    FaultSpec(
+        name="gc_leak",
+        description=(
+            "pCore garbage collector leaks tasks deleted mid-flight; "
+            "create/delete churn exhausts kernel memory (test case 1)"
+        ),
+        expected=AnomalyKind.CRASH,
+        build=lambda seed: stress_case1(seed=seed, buggy_gc=True),
+    ),
+    FaultSpec(
+        name="cyclic_lock",
+        description=(
+            "dining philosophers acquire forks in cyclic order "
+            "(test case 2)"
+        ),
+        expected=AnomalyKind.DEADLOCK,
+        build=lambda seed: philosophers_case2(seed=seed, op="cyclic"),
+    ),
+    FaultSpec(
+        name="lost_wakeup",
+        description=(
+            "producer drops every fourth items-semaphore signal; the "
+            "consumer eventually blocks forever"
+        ),
+        expected=AnomalyKind.STARVATION,
+        build=lambda seed: producer_consumer_scenario(seed=seed, faulty=True),
+    ),
+    FaultSpec(
+        name="priority_starvation",
+        description=(
+            "a high-priority task computes without yielding; a lower "
+            "priority task never progresses"
+        ),
+        expected=AnomalyKind.STARVATION,
+        build=_priority_starvation,
+    ),
+    FaultSpec(
+        name="none",
+        description="healthy control: correct GC, polite tasks",
+        expected=None,
+        build=_healthy_control,
+    ),
+)
+
+
+def fault_names() -> list[str]:
+    return [spec.name for spec in FAULT_CATALOGUE]
+
+
+def build_fault_scenario(name: str, seed: int = 0) -> AdaptiveTest:
+    """Instantiate one catalogued fault scenario by name."""
+    for spec in FAULT_CATALOGUE:
+        if spec.name == name:
+            return spec.build(seed)
+    raise ConfigError(f"unknown fault {name!r}; known: {fault_names()}")

@@ -1,0 +1,42 @@
+"""The master system: Linux-like time-shared threads issuing remote
+commands.
+
+On the OMAP5912 the master is Linux on the ARM926; each pCore task is
+controlled by a corresponding Linux thread (one-to-one).  This package
+models the part pTest relies on: threads scheduled by round-robin
+time-sharing whose programs issue remote commands and touch shared
+memory (:mod:`repro.master.thread`, :mod:`repro.master.scheduler`,
+:mod:`repro.master.system`).
+
+pTest's committer (in :mod:`repro.ptest.committer`) is one specific
+master workload; the generic machinery here also runs the Fig. 1 example
+processes M1/M2.
+"""
+
+from repro.master.thread import (
+    Delay,
+    Done,
+    IssueService,
+    MasterOp,
+    MasterThread,
+    ReadShared,
+    ThreadState,
+    WaitReply,
+    WriteShared,
+)
+from repro.master.scheduler import TimeSharingScheduler
+from repro.master.system import MasterSystem
+
+__all__ = [
+    "Delay",
+    "Done",
+    "IssueService",
+    "MasterOp",
+    "MasterThread",
+    "ReadShared",
+    "ThreadState",
+    "WaitReply",
+    "WriteShared",
+    "TimeSharingScheduler",
+    "MasterSystem",
+]

@@ -1,0 +1,160 @@
+"""The master core model: a time-shared thread executor.
+
+Implements :class:`repro.sim.soc.Core`.  Each step: pump bridge replies
+(waking WAITING threads), then run one operation of the scheduled
+thread.  The Fig. 1 example and custom experiments build directly on
+this; pTest's committer is a different, pattern-driven master core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.master.scheduler import TimeSharingScheduler
+from repro.master.thread import (
+    Delay,
+    Done,
+    IssueService,
+    MasterThread,
+    ReadShared,
+    ThreadState,
+    WaitReply,
+    WriteShared,
+)
+from repro.sim.memory import SharedMemory
+from repro.sim.trace import CATEGORY_MASTER, Tracer
+
+
+@dataclass
+class MasterSystem:
+    """Runs master threads against a bridge-master endpoint."""
+
+    bridge: object  # BridgeMaster; typed loosely to avoid an import cycle
+    shared_memory: SharedMemory | None = None
+    scheduler: TimeSharingScheduler = field(default_factory=TimeSharingScheduler)
+    tracer: Tracer | None = None
+    name: str = "linux"
+    now: int = 0
+    steps: int = 0
+    _halted: bool = False
+
+    def add_thread(self, thread: MasterThread) -> None:
+        thread.start()
+        self.scheduler.add(thread)
+
+    def is_halted(self) -> bool:
+        return self._halted or self.scheduler.all_done()
+
+    def halt(self) -> None:
+        self._halted = True
+
+    # -- Core protocol ------------------------------------------------------
+
+    def step(self, now: int) -> bool:
+        self.now = now
+        self.steps += 1
+        self.bridge.now = now
+        self._pump_replies()
+        thread = self.scheduler.pick()
+        if thread is None:
+            return False
+        self._run_thread_step(thread)
+        return True
+
+    # -- internals -----------------------------------------------------------
+
+    def _pump_replies(self) -> None:
+        for result in self.bridge.pump():
+            for thread in self.scheduler.threads:
+                if (
+                    thread.state is ThreadState.WAITING
+                    and thread.outstanding_seq is not None
+                    and self.bridge.reply_for(thread.outstanding_seq) is result
+                ):
+                    thread.replies.append(result)
+                    thread.pending_send = result
+                    thread.outstanding_seq = None
+                    thread.state = ThreadState.READY
+        # Threads whose reply arrived in an earlier pump (before they
+        # started waiting) unblock here too.
+        for thread in self.scheduler.threads:
+            if thread.state is ThreadState.WAITING and thread.outstanding_seq is not None:
+                result = self.bridge.reply_for(thread.outstanding_seq)
+                if result is not None:
+                    thread.replies.append(result)
+                    thread.pending_send = result
+                    thread.outstanding_seq = None
+                    thread.state = ThreadState.READY
+
+    def _run_thread_step(self, thread: MasterThread) -> None:
+        thread.steps_run += 1
+        thread.last_progress = self.now
+        if thread.delay_remaining > 0:
+            thread.delay_remaining -= 1
+            return
+        if thread.stalled_op is not None:
+            op = thread.stalled_op
+            thread.stalled_op = None
+            thread.state = ThreadState.READY
+            self._apply_op(thread, op)
+            return
+        if thread.program is None:
+            raise SimulationError(f"thread {thread.name} not started")
+        try:
+            send_value = thread.pending_send
+            thread.pending_send = None
+            op = thread.program.send(send_value)
+        except StopIteration:
+            thread.state = ThreadState.DONE
+            self.scheduler.notify_blocked(thread)
+            return
+        self._apply_op(thread, op)
+
+    def _apply_op(self, thread: MasterThread, op: object) -> None:
+        if isinstance(op, IssueService):
+            seq = self.bridge.issue(op.request)
+            if seq is None:  # command mailbox full: retry next step
+                thread.stalled_op = op
+                thread.state = ThreadState.STALLED
+                return
+            thread.issued += 1
+            thread.outstanding_seq = seq
+            thread.pending_send = seq
+            self._trace(
+                thread, event="issue", service=op.request.service.name, seq=seq
+            )
+        elif isinstance(op, WaitReply):
+            if thread.outstanding_seq is None:
+                raise SimulationError(
+                    f"thread {thread.name} waits with no outstanding request"
+                )
+            result = self.bridge.reply_for(thread.outstanding_seq)
+            if result is not None:
+                thread.replies.append(result)
+                thread.pending_send = result
+                thread.outstanding_seq = None
+                return
+            thread.state = ThreadState.WAITING
+            self.scheduler.notify_blocked(thread)
+        elif isinstance(op, Delay):
+            thread.delay_remaining = op.ticks - 1  # this step counts
+        elif isinstance(op, ReadShared):
+            if self.shared_memory is None:
+                raise SimulationError("no shared memory attached")
+            thread.pending_send = self.shared_memory.read_u16(op.address)
+        elif isinstance(op, WriteShared):
+            if self.shared_memory is None:
+                raise SimulationError("no shared memory attached")
+            self.shared_memory.write_u16(op.address, op.value)
+        elif isinstance(op, Done):
+            thread.state = ThreadState.DONE
+            self.scheduler.notify_blocked(thread)
+        else:
+            raise SimulationError(f"unknown master op {type(op).__name__}")
+
+    def _trace(self, thread: MasterThread, **payload: object) -> None:
+        if self.tracer is not None:
+            self.tracer.record(
+                self.now, self.name, CATEGORY_MASTER, thread=thread.name, **payload
+            )

@@ -1,0 +1,126 @@
+"""Master-side threads and their operations.
+
+A master thread's program is a generator yielding :class:`MasterOp`
+values, in the same spirit as slave task programs: every step is an
+explicit scheduling point.  The Fig. 1 master processes, for example::
+
+    def m1(ctx):
+        yield IssueService(ServiceRequest(ServiceCode.TR, target=1))
+        yield WaitReply()
+        yield Done()
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Generator
+
+from repro.errors import SimulationError
+from repro.pcore.services import ServiceRequest, ServiceResult
+
+
+@dataclass(frozen=True)
+class MasterOp:
+    """Base class for operations a master thread can yield."""
+
+
+@dataclass(frozen=True)
+class IssueService(MasterOp):
+    """Issue a remote service request through the bridge.
+
+    The issued request's sequence id is delivered back into the program
+    as the value of the ``yield``.
+    """
+
+    request: ServiceRequest
+
+
+@dataclass(frozen=True)
+class WaitReply(MasterOp):
+    """Block until the reply to this thread's most recent issue arrives.
+
+    The :class:`~repro.pcore.services.ServiceResult` is sent into the
+    program as the value of the ``yield``.
+    """
+
+
+@dataclass(frozen=True)
+class Delay(MasterOp):
+    """Consume ``ticks`` master scheduling steps doing nothing."""
+
+    ticks: int
+
+    def __post_init__(self) -> None:
+        if self.ticks < 1:
+            raise SimulationError(f"Delay ticks must be >= 1, got {self.ticks}")
+
+
+@dataclass(frozen=True)
+class ReadShared(MasterOp):
+    """Read a u16 from shared memory (value sent into the program)."""
+
+    address: int
+
+
+@dataclass(frozen=True)
+class WriteShared(MasterOp):
+    """Write a u16 to shared memory."""
+
+    address: int
+    value: int
+
+
+@dataclass(frozen=True)
+class Done(MasterOp):
+    """Thread finished its work."""
+
+
+class ThreadState(enum.Enum):
+    READY = "ready"
+    #: Waiting for a bridge reply.
+    WAITING = "waiting"
+    #: Waiting for the command mailbox to accept a post.
+    STALLED = "stalled"
+    DONE = "done"
+
+
+MasterProgram = Callable[["MasterThread"], Generator[MasterOp, object, None]]
+
+
+@dataclass
+class MasterThread:
+    """One time-shared master thread."""
+
+    mtid: int
+    name: str
+    program_factory: MasterProgram
+    state: ThreadState = ThreadState.READY
+    program: Generator[MasterOp, object, None] | None = field(
+        default=None, repr=False
+    )
+    #: Remaining delay ticks when executing a Delay op.
+    delay_remaining: int = 0
+    #: Sequence id of the outstanding request (for WaitReply).
+    outstanding_seq: int | None = None
+    #: Op deferred because the mailbox was full.
+    stalled_op: MasterOp | None = None
+    #: Value to send into the generator at the next resume.
+    pending_send: object = None
+    steps_run: int = 0
+    issued: int = 0
+    last_progress: int = 0
+    #: Results observed by this thread, newest last.
+    replies: list[ServiceResult] = field(default_factory=list)
+
+    def start(self) -> None:
+        if self.program is None:
+            self.program = self.program_factory(self)
+
+    @property
+    def runnable(self) -> bool:
+        return self.state in (ThreadState.READY, ThreadState.STALLED)
+
+    @property
+    def done(self) -> bool:
+        return self.state is ThreadState.DONE

@@ -1,0 +1,84 @@
+"""Model of the pCore microkernel (the paper's slave runtime system).
+
+pCore is a microkernel for specialised processing units (the C55x DSP of
+the OMAP5912 in the paper): up to 16 concurrent tasks, preemptive
+priority-based scheduling, and the six task-management services of
+Table I (task_create, task_delete, task_suspend, task_resume,
+task_chanprio, task_yield).  This package models it at the level pTest
+observes it:
+
+* :mod:`repro.pcore.tcb` — task control blocks and the task state machine,
+* :mod:`repro.pcore.programs` — task bodies as generator coroutines
+  yielding :class:`~repro.pcore.programs.Syscall` objects,
+* :mod:`repro.pcore.scheduler` — preemptive priority scheduling,
+* :mod:`repro.pcore.memory` — the tiny-kernel memory manager and its
+  garbage collector, with the injectable GC fault of test case 1,
+* :mod:`repro.pcore.sync` — mutexes/semaphores with owner and wait-queue
+  tracking (feeding the detector's wait-for graph),
+* :mod:`repro.pcore.services` — Table I service semantics,
+* :mod:`repro.pcore.kernel` — the kernel itself, a stepped
+  :class:`repro.sim.soc.Core`.
+"""
+
+from repro.pcore.ipc import KMessageQueue
+from repro.pcore.kernel import KernelConfig, PCoreKernel
+from repro.pcore.memory import GarbageCollector, KernelMemory, MemoryBlock
+from repro.pcore.programs import (
+    Acquire,
+    QRecv,
+    QSend,
+    forever_program,
+    idle_program,
+    Compute,
+    Exit,
+    MemRead,
+    MemWrite,
+    Release,
+    Sleep,
+    Syscall,
+    TaskContext,
+    YieldCpu,
+)
+from repro.pcore.scheduler import PriorityScheduler
+from repro.pcore.services import (
+    SERVICE_ABBREVIATIONS,
+    ServiceCode,
+    ServiceRequest,
+    ServiceResult,
+    ServiceStatus,
+)
+from repro.pcore.sync import KMutex, KSemaphore
+from repro.pcore.tcb import TaskControlBlock, TaskState
+
+__all__ = [
+    "KMessageQueue",
+    "KernelConfig",
+    "QRecv",
+    "QSend",
+    "PCoreKernel",
+    "GarbageCollector",
+    "KernelMemory",
+    "MemoryBlock",
+    "Acquire",
+    "forever_program",
+    "idle_program",
+    "Compute",
+    "Exit",
+    "MemRead",
+    "MemWrite",
+    "Release",
+    "Sleep",
+    "Syscall",
+    "TaskContext",
+    "YieldCpu",
+    "PriorityScheduler",
+    "SERVICE_ABBREVIATIONS",
+    "ServiceCode",
+    "ServiceRequest",
+    "ServiceResult",
+    "ServiceStatus",
+    "KMutex",
+    "KSemaphore",
+    "TaskControlBlock",
+    "TaskState",
+]

@@ -1,0 +1,87 @@
+"""Intra-kernel message queues (task-to-task IPC).
+
+pCore's second headline feature is "supporting dual-core/multicore
+communication protocols"; on the task side that surfaces as bounded
+message queues.  A :class:`KMessageQueue` carries word-sized payloads
+between tasks with blocking send (when full) and blocking receive (when
+empty).  Queues are ownerless, so like semaphores they contribute no
+wait-for edges — a stuck pipeline shows up as starvation, not deadlock,
+which matches how such bugs look from outside on real hardware.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import KernelError
+
+
+@dataclass
+class KMessageQueue:
+    """A bounded FIFO of word-sized messages between tasks."""
+
+    name: str
+    capacity: int = 8
+    _items: deque[int] = field(default_factory=deque, repr=False)
+    #: Tasks blocked trying to send (queue full), FIFO.
+    send_waiters: list[int] = field(default_factory=list)
+    #: Tasks blocked trying to receive (queue empty), FIFO.
+    recv_waiters: list[int] = field(default_factory=list)
+    sent: int = 0
+    received: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise KernelError(
+                f"queue {self.name}: capacity must be >= 1, got {self.capacity}"
+            )
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def try_send(self, tid: int, value: int) -> bool:
+        """Enqueue ``value``; on a full queue the sender is parked."""
+        if self.full:
+            if tid not in self.send_waiters:
+                self.send_waiters.append(tid)
+            return False
+        self._items.append(value)
+        self.sent += 1
+        return True
+
+    def try_recv(self, tid: int) -> tuple[bool, int | None]:
+        """Dequeue a value; on an empty queue the receiver is parked."""
+        if self.empty:
+            if tid not in self.recv_waiters:
+                self.recv_waiters.append(tid)
+            return False, None
+        self.received += 1
+        return True, self._items.popleft()
+
+    def pop_send_waiter(self) -> int | None:
+        """A slot freed: which parked sender should retry?"""
+        if self.send_waiters:
+            return self.send_waiters.pop(0)
+        return None
+
+    def pop_recv_waiter(self) -> int | None:
+        """An item arrived: which parked receiver should retry?"""
+        if self.recv_waiters:
+            return self.recv_waiters.pop(0)
+        return None
+
+    def drop_waiter(self, tid: int) -> None:
+        """Remove a dying task from both wait lists."""
+        if tid in self.send_waiters:
+            self.send_waiters.remove(tid)
+        if tid in self.recv_waiters:
+            self.recv_waiters.remove(tid)

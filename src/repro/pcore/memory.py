@@ -1,0 +1,163 @@
+"""The pCore memory manager and its garbage collector.
+
+pCore runs in 160 KB of DSP-internal memory with tiny per-task stacks
+(512 bytes in the paper's stress test).  The manager is a simple
+first-fit free-list allocator over that region: enough fidelity to make
+exhaustion a real, observable failure.
+
+Deleted tasks do not free their blocks synchronously; the kernel places
+TCB and stack blocks on a garbage list that the :class:`GarbageCollector`
+reclaims periodically.  **Test case 1's fault lives here**: with
+``buggy=True`` the collector fails to reclaim the blocks of tasks that
+were deleted *before terminating on their own* (i.e. killed mid-flight
+by a remote ``task_delete``).  Under pTest's churn — keep 16 tasks live,
+continuously create and delete — the leak accumulates until allocation
+fails and the kernel panics, reproducing the crash the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import KernelError
+
+#: pCore's internal memory on the C55x, per the paper: 160 Kbytes.
+PCORE_INTERNAL_MEMORY_BYTES = 160 * 1024
+
+#: Stack size used in the paper's stress test.
+DEFAULT_STACK_BYTES = 512
+
+#: Modelled size of a task control block.
+TCB_BYTES = 64
+
+
+@dataclass
+class MemoryBlock:
+    """One allocated region: ``[offset, offset + size)``."""
+
+    offset: int
+    size: int
+    tag: str = ""
+    freed: bool = False
+
+
+@dataclass
+class KernelMemory:
+    """First-fit free-list allocator over the internal memory region."""
+
+    capacity: int = PCORE_INTERNAL_MEMORY_BYTES
+    #: Free list as sorted, non-overlapping ``(offset, size)`` holes.
+    _free: list[tuple[int, int]] = field(default_factory=list, repr=False)
+    allocated_bytes: int = 0
+    allocations: int = 0
+    frees: int = 0
+    failures: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise KernelError(f"capacity must be >= 1, got {self.capacity}")
+        self._free = [(0, self.capacity)]
+
+    def allocate(self, size: int, tag: str = "") -> MemoryBlock | None:
+        """First-fit allocation; returns ``None`` on exhaustion."""
+        if size < 1:
+            raise KernelError(f"allocation size must be >= 1, got {size}")
+        for index, (offset, hole) in enumerate(self._free):
+            if hole >= size:
+                if hole == size:
+                    del self._free[index]
+                else:
+                    self._free[index] = (offset + size, hole - size)
+                self.allocated_bytes += size
+                self.allocations += 1
+                return MemoryBlock(offset=offset, size=size, tag=tag)
+        self.failures += 1
+        return None
+
+    def free(self, block: MemoryBlock) -> None:
+        """Return a block to the free list, coalescing neighbours."""
+        if block.freed:
+            raise KernelError(
+                f"double free of block at {block.offset:#x} ({block.tag})"
+            )
+        block.freed = True
+        self.allocated_bytes -= block.size
+        self.frees += 1
+        self._free.append((block.offset, block.size))
+        self._free.sort()
+        coalesced: list[tuple[int, int]] = []
+        for offset, size in self._free:
+            if coalesced and coalesced[-1][0] + coalesced[-1][1] == offset:
+                previous_offset, previous_size = coalesced[-1]
+                coalesced[-1] = (previous_offset, previous_size + size)
+            else:
+                coalesced.append((offset, size))
+        self._free = coalesced
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.allocated_bytes
+
+    def largest_hole(self) -> int:
+        return max((size for _offset, size in self._free), default=0)
+
+
+@dataclass
+class GarbageItem:
+    """A dead task's blocks awaiting collection."""
+
+    tid: int
+    blocks: list[MemoryBlock]
+    #: True when the task was deleted remotely before finishing its own
+    #: work — the condition the buggy collector mishandles.
+    killed_midflight: bool
+
+
+@dataclass
+class GarbageCollector:
+    """Deferred reclamation of dead-task memory.
+
+    Parameters
+    ----------
+    memory:
+        The allocator to return blocks to.
+    buggy:
+        When ``True``, items whose task was killed mid-flight are
+        *dropped without being freed* — the modelled pCore GC fault of
+        the paper's first test case.  Their bytes are counted in
+        :attr:`leaked_bytes`.
+    """
+
+    memory: KernelMemory
+    buggy: bool = False
+    pending: list[GarbageItem] = field(default_factory=list)
+    collected: int = 0
+    leaked_items: int = 0
+    leaked_bytes: int = 0
+
+    def defer(self, item: GarbageItem) -> None:
+        """Queue a dead task's blocks for the next collection cycle."""
+        self.pending.append(item)
+
+    def collect(self) -> int:
+        """Run one collection cycle; returns bytes reclaimed."""
+        reclaimed = 0
+        remaining: list[GarbageItem] = []
+        for item in self.pending:
+            if self.buggy and item.killed_midflight:
+                # The fault: the collector loses track of these blocks.
+                self.leaked_items += 1
+                self.leaked_bytes += sum(block.size for block in item.blocks)
+                continue
+            for block in item.blocks:
+                reclaimed += block.size
+                self.memory.free(block)
+            self.collected += 1
+        self.pending = remaining
+        return reclaimed
+
+    @property
+    def pending_bytes(self) -> int:
+        return sum(
+            block.size for item in self.pending for block in item.blocks
+        )

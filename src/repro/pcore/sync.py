@@ -1,0 +1,121 @@
+"""Kernel synchronization objects with detector-visible wait queues.
+
+The dining-philosophers case (test case 2) needs mutually exclusive
+shared resources whose ownership and wait queues the bug detector can
+inspect to build a wait-for graph.  :class:`KMutex` is an owned binary
+lock; :class:`KSemaphore` a counting semaphore (no owner, so it
+contributes no wait-for edges, but its queue still shows starvation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import KernelError
+
+
+@dataclass
+class KMutex:
+    """A non-recursive, owned, mutually-exclusive resource."""
+
+    name: str
+    owner: int | None = None  # tid of the holding task
+    waiters: list[int] = field(default_factory=list)
+    acquisitions: int = 0
+    contentions: int = 0
+
+    def try_acquire(self, tid: int) -> bool:
+        """Acquire for ``tid``; on failure the caller blocks and we queue
+        the tid."""
+        if self.owner is None:
+            self.owner = tid
+            self.acquisitions += 1
+            return True
+        if self.owner == tid:
+            raise KernelError(
+                f"task {tid} re-acquiring non-recursive mutex {self.name}"
+            )
+        if tid not in self.waiters:
+            self.waiters.append(tid)
+        self.contentions += 1
+        return False
+
+    def release(self, tid: int) -> int | None:
+        """Release by the owner; returns the next owner's tid if a waiter
+        was promoted (the kernel must unblock that task)."""
+        if self.owner != tid:
+            raise KernelError(
+                f"task {tid} releasing mutex {self.name} owned by "
+                f"{self.owner}"
+            )
+        if self.waiters:
+            self.owner = self.waiters.pop(0)
+            self.acquisitions += 1
+            return self.owner
+        self.owner = None
+        return None
+
+    def drop_waiter(self, tid: int) -> None:
+        """Remove a tid from the wait queue (task deleted while blocked)."""
+        if tid in self.waiters:
+            self.waiters.remove(tid)
+
+    def forfeit(self, tid: int) -> int | None:
+        """Owner died without releasing; promote the next waiter.
+
+        Returns the promoted tid, if any.  Used by task_delete so a
+        deleted owner does not wedge the resource forever (the deadlock
+        we *model* comes from cyclic waiting, not from lost owners).
+        """
+        if self.owner != tid:
+            return None
+        if self.waiters:
+            self.owner = self.waiters.pop(0)
+            self.acquisitions += 1
+            return self.owner
+        self.owner = None
+        return None
+
+
+@dataclass
+class KSemaphore:
+    """Counting semaphore without ownership."""
+
+    name: str
+    count: int = 1
+    waiters: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise KernelError(
+                f"semaphore {self.name} initial count {self.count} < 0"
+            )
+
+    def try_acquire(self, tid: int) -> bool:
+        if self.count > 0:
+            self.count -= 1
+            return True
+        if tid not in self.waiters:
+            self.waiters.append(tid)
+        return False
+
+    def release(self, tid: int) -> int | None:
+        """Increment; returns a woken waiter's tid if one was queued."""
+        del tid  # semaphores are ownerless; signature kept uniform
+        if self.waiters:
+            return self.waiters.pop(0)
+        self.count += 1
+        return None
+
+    def drop_waiter(self, tid: int) -> None:
+        if tid in self.waiters:
+            self.waiters.remove(tid)
+
+    def forfeit(self, tid: int) -> int | None:
+        """Semaphores have no owner; nothing to forfeit."""
+        del tid
+        return None
+
+
+#: Union type used by the kernel's resource table.
+SyncObject = KMutex | KSemaphore

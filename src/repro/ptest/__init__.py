@@ -1,0 +1,80 @@
+"""pTest: the adaptive testing tool (the paper's contribution).
+
+The three key components of Fig. 2, plus the harness that ties them to
+the simulated OMAP platform:
+
+* :mod:`repro.ptest.generator` — the **pattern generator** (Algorithm 2):
+  regular expression + probability distribution -> PFA -> test patterns.
+* :mod:`repro.ptest.merger` — the **pattern merger** (the ``op``
+  parameter of Algorithm 1): systematically interleaves *n* patterns
+  into one merged pattern, "similar to a process scheduler".
+* :mod:`repro.ptest.detector` — the **bug detector**: watches task
+  states, the wait-for graph and bridge reply latencies; classifies
+  crashes, deadlocks, starvation and hangs; dumps reproduction info.
+* :mod:`repro.ptest.committer` — the committer issuing the merged
+  pattern's remote commands through the bridge.
+* :mod:`repro.ptest.recording` — Definition 2 state records.
+* :mod:`repro.ptest.harness` — ``AdaptiveTest`` (Algorithm 1), end to
+  end on the simulated SoC.
+* :mod:`repro.ptest.pcore_model` — the pCore PFA of Fig. 5 with the
+  paper's probabilities, and RE (2).
+"""
+
+from repro.ptest.config import PTestConfig
+from repro.ptest.patterns import MergedPattern, PatternCommand, TestPattern
+from repro.ptest.generator import PatternGenerator
+from repro.ptest.merger import MERGE_OPS, PatternMerger, register_merge_op
+from repro.ptest.recording import ProcessStateRecorder, StateRecord
+from repro.ptest.detector import (
+    Anomaly,
+    AnomalyKind,
+    BugDetector,
+    DetectorConfig,
+)
+from repro.ptest.committer import Committer, PairBinding
+from repro.ptest.report import BugReport
+from repro.ptest.harness import AdaptiveTest, TestRunResult, run_adaptive_test
+from repro.ptest.shrink import PatternShrinker, ShrinkResult, truncate_merged
+from repro.ptest.campaign import Campaign, CampaignRow, compare_ops
+from repro.ptest.replay import parse_merged_description, replay_report_dict
+from repro.ptest.pcore_model import (
+    PCORE_REGULAR_EXPRESSION,
+    PCORE_SERVICES,
+    pcore_distribution,
+    pcore_pfa,
+)
+
+__all__ = [
+    "PTestConfig",
+    "MergedPattern",
+    "PatternCommand",
+    "TestPattern",
+    "PatternGenerator",
+    "MERGE_OPS",
+    "PatternMerger",
+    "register_merge_op",
+    "ProcessStateRecorder",
+    "StateRecord",
+    "Anomaly",
+    "AnomalyKind",
+    "BugDetector",
+    "DetectorConfig",
+    "Committer",
+    "PairBinding",
+    "BugReport",
+    "AdaptiveTest",
+    "TestRunResult",
+    "run_adaptive_test",
+    "PatternShrinker",
+    "ShrinkResult",
+    "truncate_merged",
+    "Campaign",
+    "CampaignRow",
+    "compare_ops",
+    "parse_merged_description",
+    "replay_report_dict",
+    "PCORE_REGULAR_EXPRESSION",
+    "PCORE_SERVICES",
+    "pcore_distribution",
+    "pcore_pfa",
+]

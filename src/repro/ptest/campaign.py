@@ -1,0 +1,127 @@
+"""Test campaigns: sweeps of adaptive-test runs with aggregation.
+
+A campaign runs a scenario builder across seeds (and optionally across
+parameter variants), collects every run's outcome and produces summary
+rows — the machinery behind the comparison benches, exposed as a public
+API so downstream users can script their own studies.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.ptest.detector import AnomalyKind
+from repro.ptest.harness import AdaptiveTest, TestRunResult
+
+ScenarioBuilder = Callable[[int], AdaptiveTest]
+
+
+@dataclass(frozen=True)
+class CampaignRow:
+    """Summary of one variant across its seeds."""
+
+    variant: str
+    runs: int
+    detections: int
+    kinds: tuple[str, ...]
+    mean_ticks_to_detection: float
+    mean_commands: float
+
+    @property
+    def rate(self) -> float:
+        return self.detections / self.runs if self.runs else 0.0
+
+
+@dataclass
+class Campaign:
+    """A named set of scenario variants, each swept over seeds."""
+
+    seeds: Iterable[int] = (0, 1, 2, 3, 4)
+    variants: dict[str, ScenarioBuilder] = field(default_factory=dict)
+    results: dict[str, list[TestRunResult]] = field(default_factory=dict)
+
+    def add_variant(self, name: str, builder: ScenarioBuilder) -> None:
+        if name in self.variants:
+            raise ValueError(f"variant {name!r} already registered")
+        self.variants[name] = builder
+
+    def run(self) -> list[CampaignRow]:
+        """Execute every variant over every seed; returns summary rows."""
+        rows = []
+        for name, builder in self.variants.items():
+            runs: list[TestRunResult] = []
+            for seed in self.seeds:
+                runs.append(builder(seed).run())
+            self.results[name] = runs
+            rows.append(self._summarise(name, runs))
+        return rows
+
+    @staticmethod
+    def _summarise(name: str, runs: list[TestRunResult]) -> CampaignRow:
+        detections = [run for run in runs if run.found_bug]
+        kinds = tuple(
+            sorted({run.report.primary.kind.value for run in detections})
+        )
+        ticks = [run.report.primary.detected_at for run in detections]
+        commands = [run.commands_issued for run in runs]
+        return CampaignRow(
+            variant=name,
+            runs=len(runs),
+            detections=len(detections),
+            kinds=kinds,
+            mean_ticks_to_detection=(
+                statistics.mean(ticks) if ticks else 0.0
+            ),
+            mean_commands=statistics.mean(commands) if commands else 0.0,
+        )
+
+    def detection_rate(self, variant: str) -> float:
+        runs = self.results.get(variant, [])
+        if not runs:
+            return 0.0
+        return sum(run.found_bug for run in runs) / len(runs)
+
+    def kind_counts(self, variant: str) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for run in self.results.get(variant, []):
+            if run.found_bug:
+                kind = run.report.primary.kind.value
+                counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+
+def compare_ops(
+    builder_for_op: Callable[[str, int], AdaptiveTest],
+    ops: Iterable[str],
+    seeds: Iterable[int],
+    expected: AnomalyKind,
+) -> list[CampaignRow]:
+    """Convenience: one campaign variant per merge op.
+
+    ``builder_for_op(op, seed)`` must return a ready AdaptiveTest.
+    """
+    campaign = Campaign(seeds=tuple(seeds))
+    for op in ops:
+        campaign.add_variant(op, lambda seed, op=op: builder_for_op(op, seed))
+    rows = campaign.run()
+    # Re-score detections against the expected anomaly class.
+    rescored = []
+    for row in rows:
+        hits = sum(
+            1
+            for run in campaign.results[row.variant]
+            if run.found_bug and run.report.primary.kind is expected
+        )
+        rescored.append(
+            CampaignRow(
+                variant=row.variant,
+                runs=row.runs,
+                detections=hits,
+                kinds=row.kinds,
+                mean_ticks_to_detection=row.mean_ticks_to_detection,
+                mean_commands=row.mean_commands,
+            )
+        )
+    return rescored

@@ -1,0 +1,253 @@
+"""The bug detector.
+
+"The bug detector tracks the progress of test activities until it
+detects the potential system failures and then it terminates the test
+activity that results in these failures."  It watches four anomaly
+classes:
+
+``CRASH``
+    The slave kernel panicked (test case 1's GC failure shows up here).
+``DEADLOCK``
+    A cycle in the wait-for graph built from mutex ownership (test
+    case 2's dining philosophers).
+``STARVATION``
+    A live, unsuspended task whose last progress is older than the
+    progress window while the system is otherwise active — the paper's
+    "processes ... stay in the same state for a period of time".
+``HANG``
+    The oldest unanswered remote command exceeds the reply timeout (the
+    slave stopped answering the bridge without an observable panic).
+
+The detector "is run as a new process" in the paper; here it is a
+component swept every ``interval`` ticks by the harness, which is the
+same observational model (sampled, concurrent monitoring) without host
+processes.  Wait-for cycles are found with :mod:`networkx`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.bridge.bridge import BridgeMaster
+from repro.pcore.kernel import PCoreKernel
+from repro.pcore.tcb import TaskState
+from repro.ptest.recording import ProcessStateRecorder
+from repro.sim.trace import CATEGORY_DETECTOR, Tracer
+
+
+class AnomalyKind(enum.Enum):
+    CRASH = "crash"
+    DEADLOCK = "deadlock"
+    STARVATION = "starvation"
+    HANG = "hang"
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One detected failure."""
+
+    kind: AnomalyKind
+    detected_at: int
+    description: str
+    #: Tasks involved (cycle members, starved task, ...).
+    tids: tuple[int, ...] = ()
+    #: Resources involved (deadlock cycle edges).
+    resources: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        return (
+            f"[{self.detected_at}] {self.kind.value}: {self.description}"
+        )
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Thresholds for the sampled monitors."""
+
+    reply_timeout: int = 400
+    progress_window: int = 600
+    interval: int = 8
+    #: Require the blocked set to be stable across this many sweeps
+    #: before declaring deadlock (debounce against transient contention).
+    deadlock_confirmations: int = 2
+
+
+@dataclass
+class BugDetector:
+    """Sampled monitor over the kernel, bridge and state records."""
+
+    kernel: PCoreKernel
+    bridge: BridgeMaster
+    config: DetectorConfig = field(default_factory=DetectorConfig)
+    recorder: ProcessStateRecorder | None = None
+    tracer: Tracer | None = None
+    anomalies: list[Anomaly] = field(default_factory=list)
+    sweeps: int = 0
+    _last_cycle: tuple[int, ...] = ()
+    _cycle_streak: int = 0
+    _reported: set[tuple] = field(default_factory=set)
+
+    @property
+    def triggered(self) -> bool:
+        return bool(self.anomalies)
+
+    def first(self, kind: AnomalyKind) -> Anomaly | None:
+        for anomaly in self.anomalies:
+            if anomaly.kind is kind:
+                return anomaly
+        return None
+
+    # -- sweep ----------------------------------------------------------------
+
+    def sweep(self, now: int) -> list[Anomaly]:
+        """Run all monitors; returns anomalies *new* in this sweep."""
+        self.sweeps += 1
+        found: list[Anomaly] = []
+        found.extend(self._check_crash(now))
+        found.extend(self._check_deadlock(now))
+        found.extend(self._check_starvation(now))
+        found.extend(self._check_hang(now))
+        for anomaly in found:
+            self.anomalies.append(anomaly)
+            if self.tracer is not None:
+                self.tracer.record(
+                    now,
+                    "ptest",
+                    CATEGORY_DETECTOR,
+                    kind=anomaly.kind.value,
+                    description=anomaly.description,
+                )
+        return found
+
+    # -- monitors ---------------------------------------------------------------
+
+    def _emit_once(self, key: tuple, anomaly: Anomaly) -> list[Anomaly]:
+        if key in self._reported:
+            return []
+        self._reported.add(key)
+        return [anomaly]
+
+    def _check_crash(self, now: int) -> list[Anomaly]:
+        if not self.kernel.is_halted():
+            return []
+        reason = self.kernel.panic_reason or "unknown panic"
+        return self._emit_once(
+            ("crash",),
+            Anomaly(
+                kind=AnomalyKind.CRASH,
+                detected_at=now,
+                description=f"slave kernel panic: {reason}",
+            ),
+        )
+
+    def _check_deadlock(self, now: int) -> list[Anomaly]:
+        edges = self.kernel.wait_for_edges()
+        if not edges:
+            self._cycle_streak = 0
+            self._last_cycle = ()
+            return []
+        graph = nx.DiGraph()
+        resource_of: dict[tuple[int, int], str] = {}
+        for waiter, owner, resource in edges:
+            graph.add_edge(waiter, owner)
+            resource_of[(waiter, owner)] = resource
+        try:
+            cycle_edges = nx.find_cycle(graph)
+        except nx.NetworkXNoCycle:
+            self._cycle_streak = 0
+            self._last_cycle = ()
+            return []
+        cycle_tids = tuple(sorted({edge[0] for edge in cycle_edges}))
+        if cycle_tids == self._last_cycle:
+            self._cycle_streak += 1
+        else:
+            self._last_cycle = cycle_tids
+            self._cycle_streak = 1
+        if self._cycle_streak < self.config.deadlock_confirmations:
+            return []
+        resources = tuple(
+            resource_of[(waiter, owner)] for waiter, owner in cycle_edges
+        )
+        names = ", ".join(
+            self.kernel.tasks[tid].name if tid in self.kernel.tasks else str(tid)
+            for tid in cycle_tids
+        )
+        return self._emit_once(
+            ("deadlock", cycle_tids),
+            Anomaly(
+                kind=AnomalyKind.DEADLOCK,
+                detected_at=now,
+                description=(
+                    f"wait-for cycle among tasks [{names}] over resources "
+                    f"[{', '.join(resources)}]"
+                ),
+                tids=cycle_tids,
+                resources=resources,
+            ),
+        )
+
+    def _check_starvation(self, now: int) -> list[Anomaly]:
+        found: list[Anomaly] = []
+        for task in self.kernel.live_tasks():
+            if task.state in (TaskState.SUSPENDED, TaskState.SLEEPING):
+                continue  # waiting there is intended, not starvation
+            age = now - task.last_progress
+            if age <= self.config.progress_window:
+                continue
+            found.extend(
+                self._emit_once(
+                    ("starvation", task.tid),
+                    Anomaly(
+                        kind=AnomalyKind.STARVATION,
+                        detected_at=now,
+                        description=(
+                            f"task {task.tid} ({task.name}) made no progress "
+                            f"for {age} ticks in state {task.state.value}"
+                        ),
+                        tids=(task.tid,),
+                    ),
+                )
+            )
+        return found
+
+    def wait_for_dot(self) -> str:
+        """Render the current wait-for graph as Graphviz DOT.
+
+        Included in bug reports so a deadlock's cycle can be *seen*;
+        nodes are task names, edges are labelled with the contested
+        resource.
+        """
+        lines = ["digraph wait_for {", "  rankdir=LR;"]
+        tids = set()
+        edges = self.kernel.wait_for_edges()
+        for waiter, owner, _resource in edges:
+            tids.update((waiter, owner))
+        for tid in sorted(tids):
+            task = self.kernel.tasks.get(tid)
+            label = task.name if task is not None else f"tid{tid}"
+            state = task.state.value if task is not None else "gone"
+            lines.append(f'  t{tid} [label="{label}\\n({state})"];')
+        for waiter, owner, resource in edges:
+            lines.append(f'  t{waiter} -> t{owner} [label="{resource}"];')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def _check_hang(self, now: int) -> list[Anomaly]:
+        age = self.bridge.oldest_outstanding_age()
+        if age is None or age <= self.config.reply_timeout:
+            return []
+        pending = sorted(self.bridge.outstanding)
+        return self._emit_once(
+            ("hang", pending[0] if pending else -1),
+            Anomaly(
+                kind=AnomalyKind.HANG,
+                detected_at=now,
+                description=(
+                    f"command seq {pending[0] if pending else '?'} unanswered "
+                    f"for {age} ticks ({len(pending)} outstanding)"
+                ),
+            ),
+        )

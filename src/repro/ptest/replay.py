@@ -1,0 +1,81 @@
+"""Replaying serialized bug reports.
+
+A :class:`~repro.ptest.report.BugReport` serialises to a plain dict
+(``to_dict``), including the merged pattern rendered as
+``"TC[p0#1] TS[p0#2] ..."``.  This module parses that rendering back
+into a :class:`~repro.ptest.patterns.MergedPattern` and re-runs it with
+``merged_override`` — so a bug found yesterday and saved as JSON can be
+re-triggered today without the original process.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Mapping
+
+from repro.errors import ConfigError
+from repro.pcore.kernel import PCoreKernel
+from repro.pcore.programs import TaskProgram
+from repro.ptest.config import PTestConfig
+from repro.ptest.harness import AdaptiveTest, TestRunResult
+from repro.ptest.patterns import MergedPattern, PatternCommand, TestPattern
+
+_COMMAND_RE = re.compile(r"^(?P<symbol>[A-Za-z0-9_]+)\[p(?P<pair>\d+)#(?P<seq>\d+)\]$")
+
+
+def parse_merged_description(text: str) -> MergedPattern:
+    """Parse ``"TC[p0#1] TC[p1#1] ..."`` back into a merged pattern."""
+    commands: list[PatternCommand] = []
+    per_pair: dict[int, list[str]] = {}
+    for position, token in enumerate(text.split()):
+        match = _COMMAND_RE.match(token)
+        if match is None:
+            raise ConfigError(f"unparseable merged-pattern token {token!r}")
+        symbol = match.group("symbol")
+        pair = int(match.group("pair"))
+        sequence = int(match.group("seq"))
+        expected = len(per_pair.setdefault(pair, [])) + 1
+        if sequence != expected:
+            raise ConfigError(
+                f"token {token!r}: expected sequence {expected} for pair "
+                f"{pair}, got {sequence}"
+            )
+        per_pair[pair].append(symbol)
+        commands.append(
+            PatternCommand(
+                symbol=symbol,
+                pattern_id=pair,
+                sequence_in_pattern=sequence,
+                position=position,
+            )
+        )
+    sources = [
+        TestPattern(pattern_id=pair, symbols=tuple(symbols))
+        for pair, symbols in sorted(per_pair.items())
+    ]
+    merged = MergedPattern(commands=commands, op="replayed", sources=sources)
+    merged.validate()
+    return merged
+
+
+def replay_report_dict(
+    report_dict: dict,
+    config: PTestConfig,
+    programs: Mapping[str, TaskProgram] | None = None,
+    setup: Callable[[PCoreKernel], None] | None = None,
+) -> TestRunResult:
+    """Re-run the exact merged pattern a serialized report recorded.
+
+    ``config`` supplies the platform (kernel switches, detector
+    thresholds, seed) — everything the dict's scalar fields cannot carry
+    as live objects; its seed is overridden from the dict so the replay
+    matches the original run's randomness.
+    """
+    merged = parse_merged_description(report_dict["merged_pattern"])
+    seeded = config.with_seed(int(report_dict["seed"]))
+    return AdaptiveTest(
+        config=seeded,
+        programs=programs or {},
+        setup=setup,
+        merged_override=merged,
+    ).run()

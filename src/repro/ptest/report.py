@@ -1,0 +1,95 @@
+"""Bug reports: what the detector dumps when a failure is found.
+
+"When the potential system failures have been detected, the bug detector
+dumps the related information to help users reproduce the bugs."  A
+:class:`BugReport` carries everything a re-run needs: the full config
+(with its master seed), the merged pattern and how far it got, the
+Definition 2 state records, a task dump, and the trace tail.  Because
+every component is deterministic under the config's seed, replaying the
+config re-finds the same anomaly — tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ptest.config import PTestConfig
+from repro.ptest.detector import Anomaly
+from repro.ptest.recording import StateRecord
+
+
+@dataclass
+class BugReport:
+    """The reproduction bundle for one detected failure."""
+
+    config: PTestConfig
+    anomalies: list[Anomaly]
+    found_at: int
+    commands_issued: int
+    merged_position: int
+    merged_length: int
+    merged_op: str
+    #: The interleaved pattern, rendered (``TC[p0#1] TC[p1#1] ...``).
+    merged_description: str
+    state_records: list[StateRecord] = field(default_factory=list)
+    task_dump: list[str] = field(default_factory=list)
+    trace_tail: list[dict] = field(default_factory=list)
+    kernel_panic: str | None = None
+    #: Graphviz DOT of the wait-for graph at detection time.
+    wait_for_dot: str = ""
+
+    @property
+    def primary(self) -> Anomaly:
+        return self.anomalies[0]
+
+    def describe(self) -> str:
+        """Multi-line human-readable dump (what pTest prints on a find)."""
+        lines = [
+            f"pTest bug report @ tick {self.found_at}",
+            f"  config: {self.config.describe()}",
+            f"  merged pattern ({self.merged_op}): position "
+            f"{self.merged_position}/{self.merged_length}",
+        ]
+        for anomaly in self.anomalies:
+            lines.append(f"  anomaly: {anomaly.describe()}")
+        if self.kernel_panic:
+            lines.append(f"  kernel panic: {self.kernel_panic}")
+        if self.state_records:
+            lines.append("  state records (Definition 2):")
+            for record in self.state_records:
+                lines.append(f"    {record.describe()}")
+        if self.task_dump:
+            lines.append("  slave tasks:")
+            for entry in self.task_dump:
+                lines.append(f"    {entry}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """Serialisable form (drops the live config object details that
+        matter only in-process)."""
+        return {
+            "found_at": self.found_at,
+            "seed": self.config.seed,
+            "op": self.merged_op,
+            "n": self.config.pattern_count,
+            "s": self.config.pattern_size,
+            "commands_issued": self.commands_issued,
+            "merged_position": self.merged_position,
+            "merged_length": self.merged_length,
+            "merged_pattern": self.merged_description,
+            "anomalies": [
+                {
+                    "kind": anomaly.kind.value,
+                    "detected_at": anomaly.detected_at,
+                    "description": anomaly.description,
+                    "tids": list(anomaly.tids),
+                    "resources": list(anomaly.resources),
+                }
+                for anomaly in self.anomalies
+            ],
+            "kernel_panic": self.kernel_panic,
+            "state_records": [record.describe() for record in self.state_records],
+            "task_dump": list(self.task_dump),
+            "trace_tail": self.trace_tail,
+            "wait_for_dot": self.wait_for_dot,
+        }

@@ -1,0 +1,157 @@
+"""Bug-triggering pattern minimization (delta debugging).
+
+The paper's bug detector "helps users reproduce the bugs"; a merged
+pattern of hundreds of commands is reproducible but not *readable*.
+This module shrinks a failing merged pattern to a minimal failing
+subsequence with ddmin-style delta debugging: repeatedly drop chunks of
+commands, keep the reduction whenever the same anomaly class is still
+detected, and stop when no single command can be removed (1-minimal).
+
+Dropping commands must preserve per-pattern order and sequence-number
+contiguity, so removal works on *suffixes of each pair's subsequence*:
+a command can only be dropped together with every later command of the
+same pair.  This keeps every candidate a valid merged pattern (the
+committer's TC-before-TD structure survives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.pcore.kernel import PCoreKernel
+from repro.pcore.programs import TaskProgram
+from repro.ptest.config import PTestConfig
+from repro.ptest.detector import AnomalyKind
+from repro.ptest.harness import AdaptiveTest
+from repro.ptest.patterns import MergedPattern, PatternCommand, TestPattern
+
+
+def truncate_merged(merged: MergedPattern, keep: Mapping[int, int]) -> MergedPattern:
+    """Keep only the first ``keep[pair]`` commands of each pair.
+
+    The relative interleaving of surviving commands is preserved;
+    positions are renumbered; sources are truncated to match.
+    """
+    commands: list[PatternCommand] = []
+    for command in merged.commands:
+        limit = keep.get(command.pattern_id, 0)
+        if command.sequence_in_pattern <= limit:
+            commands.append(
+                PatternCommand(
+                    symbol=command.symbol,
+                    pattern_id=command.pattern_id,
+                    sequence_in_pattern=command.sequence_in_pattern,
+                    position=len(commands),
+                )
+            )
+    sources = [
+        TestPattern(
+            pattern_id=pattern.pattern_id,
+            symbols=pattern.symbols[: keep.get(pattern.pattern_id, 0)],
+            log_probability=0.0,
+        )
+        for pattern in merged.sources
+    ]
+    truncated = MergedPattern(
+        commands=commands, op=f"{merged.op}+shrunk", sources=sources
+    )
+    truncated.validate()
+    return truncated
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of a shrink session."""
+
+    original_length: int
+    shrunk: MergedPattern
+    runs_executed: int
+    anomaly_kind: AnomalyKind
+
+    @property
+    def shrunk_length(self) -> int:
+        return len(self.shrunk)
+
+    @property
+    def reduction(self) -> float:
+        if self.original_length == 0:
+            return 0.0
+        return 1.0 - self.shrunk_length / self.original_length
+
+
+@dataclass
+class PatternShrinker:
+    """Minimises a failing merged pattern while the anomaly persists.
+
+    Parameters
+    ----------
+    config:
+        The failing run's config (seed and platform are reused so the
+        replay oracle is deterministic).
+    programs / setup:
+        The scenario's slave programs and kernel setup hook.
+    target:
+        The anomaly class that must survive each reduction.
+    max_runs:
+        Replay budget; shrinking stops (returning the best-so-far) when
+        exhausted.
+    """
+
+    config: PTestConfig
+    target: AnomalyKind
+    programs: Mapping[str, TaskProgram] = field(default_factory=dict)
+    setup: Callable[[PCoreKernel], None] | None = None
+    max_runs: int = 200
+    runs_executed: int = 0
+
+    def _still_fails(self, candidate: MergedPattern) -> bool:
+        if not len(candidate):
+            return False
+        self.runs_executed += 1
+        result = AdaptiveTest(
+            config=self.config,
+            programs=self.programs,
+            setup=self.setup,
+            merged_override=candidate,
+        ).run()
+        return (
+            result.found_bug
+            and result.report.primary.kind is self.target
+        )
+
+    def shrink(self, merged: MergedPattern) -> ShrinkResult:
+        """ddmin over per-pair suffix lengths."""
+        lengths = {
+            pattern.pattern_id: len(pattern) for pattern in merged.sources
+        }
+        best = dict(lengths)
+        improved = True
+        while improved and self.runs_executed < self.max_runs:
+            improved = False
+            # Phase 1: halve each pair's tail while it still fails.
+            for pair_id in sorted(best):
+                while best[pair_id] > 0 and self.runs_executed < self.max_runs:
+                    candidate = dict(best)
+                    candidate[pair_id] = best[pair_id] // 2
+                    if self._still_fails(truncate_merged(merged, candidate)):
+                        best = candidate
+                        improved = True
+                    else:
+                        break
+            # Phase 2: 1-minimality — drop single trailing commands.
+            for pair_id in sorted(best):
+                while best[pair_id] > 0 and self.runs_executed < self.max_runs:
+                    candidate = dict(best)
+                    candidate[pair_id] = best[pair_id] - 1
+                    if self._still_fails(truncate_merged(merged, candidate)):
+                        best = candidate
+                        improved = True
+                    else:
+                        break
+        return ShrinkResult(
+            original_length=len(merged),
+            shrunk=truncate_merged(merged, best),
+            runs_executed=self.runs_executed,
+            anomaly_kind=self.target,
+        )

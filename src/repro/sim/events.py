@@ -1,0 +1,140 @@
+"""Simulated clock and timed-event scheduler.
+
+Time is a dimensionless integer tick count.  One tick corresponds to one
+scheduling step of a core; the OMAP's two cores both ran at 192 MHz, so a
+1:1 step ratio between master and slave is the default in
+:mod:`repro.sim.soc`.
+
+:class:`EventScheduler` is a classic heap-based calendar queue used for
+timeouts (bug-detector heartbeat windows, bridge reply deadlines).  Event
+callbacks run when the clock passes their due tick; events can be
+cancelled; ties break by insertion order so runs are deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class SimClock:
+    """Monotonic integer simulation clock."""
+
+    now: int = 0
+
+    def advance(self, ticks: int = 1) -> int:
+        """Move time forward; negative advances are rejected."""
+        if ticks < 0:
+            raise SimulationError(f"cannot advance clock by {ticks}")
+        self.now += ticks
+        return self.now
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """One pending event in the calendar queue.
+
+    Ordering is ``(due, sequence)`` so simultaneous events fire in
+    insertion order, keeping runs deterministic.
+    """
+
+    due: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event so it is skipped when it comes due."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """Heap-based timed-event dispatcher driven by a :class:`SimClock`."""
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: list[ScheduledEvent] = []
+        self._counter = itertools.count()
+
+    def schedule_at(
+        self, due: int, callback: Callable[[], None], label: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` to run when the clock reaches ``due``."""
+        if due < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event at {due}; clock already at "
+                f"{self.clock.now}"
+            )
+        event = ScheduledEvent(
+            due=due, sequence=next(self._counter), callback=callback, label=label
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(
+        self, delay: int, callback: Callable[[], None], label: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` ``delay`` ticks from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self.clock.now + delay, callback, label=label)
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def fire_due(self) -> int:
+        """Run every event due at or before the current time.
+
+        Returns the number of callbacks executed.  Callbacks may schedule
+        further events; newly due ones fire in the same call.
+        """
+        fired = 0
+        while self._heap and self._heap[0].due <= self.clock.now:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            event.callback()
+            fired += 1
+        return fired
+
+    def tick(self, ticks: int = 1) -> int:
+        """Advance the clock tick-by-tick, firing events as they come due.
+
+        Returns the number of callbacks executed across all ticks.
+        """
+        fired = 0
+        for _ in range(ticks):
+            self.clock.advance(1)
+            fired += self.fire_due()
+        return fired
+
+    def next_due(self) -> int | None:
+        """Due time of the earliest live event, or ``None`` when idle."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].due if self._heap else None
+
+    def run_until_idle(self, max_ticks: int = 1_000_000) -> int:
+        """Jump the clock from event to event until the queue empties.
+
+        Raises :class:`SimulationError` if more than ``max_ticks`` elapse,
+        which usually indicates an event loop re-arming itself forever.
+        """
+        start = self.clock.now
+        while True:
+            due = self.next_due()
+            if due is None:
+                return self.clock.now - start
+            if due - start > max_ticks:
+                raise SimulationError(
+                    f"event queue did not drain within {max_ticks} ticks"
+                )
+            self.clock.advance(due - self.clock.now)
+            self.fire_due()

@@ -1,0 +1,107 @@
+"""Interrupt lines between the two cores.
+
+The paper lists "sending events by triggering interrupts" as the second
+standard inter-processor mechanism (besides polling shared memory).  An
+:class:`InterruptLine` is a named, maskable, level-ish flag with attached
+handlers; the :class:`InterruptController` groups a core's lines and
+dispatches pending ones when the core takes an interrupt window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+
+Handler = Callable[[], None]
+
+
+@dataclass
+class InterruptLine:
+    """One interrupt line with pending/masked state and handlers."""
+
+    name: str
+    pending: int = 0
+    masked: bool = False
+    raised_total: int = 0
+    handled_total: int = 0
+    _handlers: list[Handler] = field(default_factory=list, repr=False)
+
+    def connect(self, handler: Handler) -> None:
+        """Attach a handler invoked when the line is serviced."""
+        self._handlers.append(handler)
+
+    def raise_(self) -> None:
+        """Assert the line (named with an underscore: ``raise`` is a
+        keyword)."""
+        self.pending += 1
+        self.raised_total += 1
+
+    def service(self) -> bool:
+        """Run handlers for one pending assertion; returns ``True`` if
+        something was serviced."""
+        if self.masked or self.pending == 0:
+            return False
+        self.pending -= 1
+        self.handled_total += 1
+        for handler in self._handlers:
+            handler()
+        return True
+
+
+class InterruptController:
+    """Per-core set of interrupt lines with priority dispatch.
+
+    Lines are serviced in registration order (earlier = higher priority),
+    matching simple embedded interrupt controllers.
+    """
+
+    def __init__(self) -> None:
+        self._lines: dict[str, InterruptLine] = {}
+
+    def add_line(self, name: str) -> InterruptLine:
+        if name in self._lines:
+            raise SimulationError(f"interrupt line {name!r} already exists")
+        line = InterruptLine(name=name)
+        self._lines[name] = line
+        return line
+
+    def line(self, name: str) -> InterruptLine:
+        try:
+            return self._lines[name]
+        except KeyError:
+            raise SimulationError(f"no interrupt line {name!r}") from None
+
+    def pending_lines(self) -> list[str]:
+        return [
+            name
+            for name, line in self._lines.items()
+            if line.pending and not line.masked
+        ]
+
+    def dispatch_one(self) -> str | None:
+        """Service the highest-priority pending line, if any.
+
+        Returns the serviced line's name, or ``None`` when nothing was
+        pending.
+        """
+        for name, line in self._lines.items():
+            if line.service():
+                return name
+        return None
+
+    def dispatch_all(self, budget: int = 64) -> int:
+        """Service pending lines until quiet or ``budget`` dispatches.
+
+        The budget guards against handler loops that re-raise their own
+        line forever.
+        """
+        count = 0
+        while count < budget:
+            if self.dispatch_one() is None:
+                return count
+            count += 1
+        raise SimulationError(
+            f"interrupt storm: more than {budget} dispatches in one window"
+        )

@@ -1,0 +1,133 @@
+"""Shared on-chip memory.
+
+Models the OMAP5912's 250 KB of shared internal SRAM: a flat byte array
+with checked word accesses, little-endian like both the ARM926 (in its
+usual configuration) and the C55x DSP data view.  Watchpoints let tests
+and the tracer observe specific addresses (e.g. the ``x``/``y`` flags of
+the Fig. 1 example live here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import MemoryError_
+
+#: Size of the OMAP5912 shared internal SRAM, per the paper (250 Kbytes).
+OMAP5912_SRAM_BYTES = 250 * 1024
+
+WatchCallback = Callable[[int, int, int], None]  # (address, old, new)
+
+
+@dataclass
+class SharedMemory:
+    """Byte-addressable shared memory with bounds and alignment checks."""
+
+    size: int = OMAP5912_SRAM_BYTES
+    data: bytearray = field(init=False, repr=False)
+    reads: int = 0
+    writes: int = 0
+    _watchpoints: dict[int, list[WatchCallback]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise MemoryError_(f"memory size must be >= 1, got {self.size}")
+        self.data = bytearray(self.size)
+
+    # -- access checks ---------------------------------------------------
+
+    def _check(self, address: int, width: int) -> None:
+        if address < 0 or address + width > self.size:
+            raise MemoryError_(
+                f"access of {width} bytes at {address:#x} outside "
+                f"[0, {self.size:#x})"
+            )
+        if width > 1 and address % width != 0:
+            raise MemoryError_(
+                f"misaligned {width}-byte access at {address:#x}"
+            )
+
+    # -- scalar accessors --------------------------------------------------
+
+    def read_u8(self, address: int) -> int:
+        self._check(address, 1)
+        self.reads += 1
+        return self.data[address]
+
+    def write_u8(self, address: int, value: int) -> None:
+        self._check(address, 1)
+        if not 0 <= value < 2**8:
+            raise MemoryError_(f"value {value} not a u8")
+        self._store(address, 1, value)
+
+    def read_u16(self, address: int) -> int:
+        self._check(address, 2)
+        self.reads += 1
+        return int.from_bytes(self.data[address : address + 2], "little")
+
+    def write_u16(self, address: int, value: int) -> None:
+        self._check(address, 2)
+        if not 0 <= value < 2**16:
+            raise MemoryError_(f"value {value} not a u16")
+        self._store(address, 2, value)
+
+    def read_u32(self, address: int) -> int:
+        self._check(address, 4)
+        self.reads += 1
+        return int.from_bytes(self.data[address : address + 4], "little")
+
+    def write_u32(self, address: int, value: int) -> None:
+        self._check(address, 4)
+        if not 0 <= value < 2**32:
+            raise MemoryError_(f"value {value} not a u32")
+        self._store(address, 4, value)
+
+    def _store(self, address: int, width: int, value: int) -> None:
+        old = int.from_bytes(self.data[address : address + width], "little")
+        self.data[address : address + width] = value.to_bytes(width, "little")
+        self.writes += 1
+        for watched in range(address, address + width):
+            for callback in self._watchpoints.get(watched, ()):  # fire once
+                callback(address, old, value)
+                break
+
+    # -- block accessors ---------------------------------------------------
+
+    def read_block(self, address: int, length: int) -> bytes:
+        if length < 0:
+            raise MemoryError_(f"negative block length {length}")
+        self._check(address, 1)
+        if address + length > self.size:
+            raise MemoryError_(
+                f"block read of {length} bytes at {address:#x} overruns memory"
+            )
+        self.reads += 1
+        return bytes(self.data[address : address + length])
+
+    def write_block(self, address: int, payload: bytes) -> None:
+        self._check(address, 1)
+        if address + len(payload) > self.size:
+            raise MemoryError_(
+                f"block write of {len(payload)} bytes at {address:#x} "
+                f"overruns memory"
+            )
+        self.data[address : address + len(payload)] = payload
+        self.writes += 1
+
+    # -- watchpoints ---------------------------------------------------------
+
+    def watch(self, address: int, callback: WatchCallback) -> None:
+        """Invoke ``callback(address, old, new)`` on writes touching
+        ``address``."""
+        self._check(address, 1)
+        self._watchpoints.setdefault(address, []).append(callback)
+
+    def unwatch(self, address: int) -> None:
+        self._watchpoints.pop(address, None)
+
+    def clear(self) -> None:
+        """Zero the whole memory (power-on reset)."""
+        self.data = bytearray(self.size)

@@ -1,0 +1,50 @@
+"""Named deterministic random streams.
+
+Every stochastic component (pattern sampler, merger, scheduler noise,
+workload compute jitter) draws from its own named substream derived from
+one master seed, so changing how often one component draws never shifts
+another component's sequence — a prerequisite for the bug detector's
+"reproduce the bug" promise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RngStreams:
+    """Factory of independent :class:`random.Random` streams."""
+
+    master_seed: int
+    _streams: dict[str, random.Random] = field(default_factory=dict, repr=False)
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use.
+
+        The substream seed is derived by hashing ``(master_seed, name)``
+        so streams are independent and stable across runs and platforms
+        (Python's ``hash()`` is salted per-process; ``hashlib`` is not).
+        """
+        if name not in self._streams:
+            digest = hashlib.sha256(
+                f"{self.master_seed}:{name}".encode()
+            ).digest()
+            self._streams[name] = random.Random(
+                int.from_bytes(digest[:8], "big")
+            )
+        return self._streams[name]
+
+    def spawn(self, name: str) -> "RngStreams":
+        """Derive a child factory (e.g. one per test run in a sweep)."""
+        digest = hashlib.sha256(f"{self.master_seed}/{name}".encode()).digest()
+        return RngStreams(master_seed=int.from_bytes(digest[:8], "big"))
+
+    def fresh_seed(self, name: str) -> int:
+        """A stable integer seed for components that build their own RNG."""
+        digest = hashlib.sha256(
+            f"{self.master_seed}#{name}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big")

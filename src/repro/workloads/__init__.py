@@ -1,0 +1,53 @@
+"""Slave task programs and ready-made test scenarios.
+
+* :mod:`repro.workloads.quicksort` — the paper's stress workload: each
+  task quick-sorts 128 two-byte integers (test case 1).
+* :mod:`repro.workloads.philosophers` — the buggy dining-philosophers of
+  test case 2 (3 tasks, 3 mutually exclusive resources) plus a correct
+  ordered-acquisition variant.
+* :mod:`repro.workloads.producer_consumer` — a bounded-buffer pair over
+  shared memory and a semaphore.
+* :mod:`repro.workloads.readers_writers` — readers/writers over a mutex,
+  with a starvation-prone writer variant.
+* :mod:`repro.workloads.fig1` — the exact four-process example of the
+  paper's Fig. 1.
+* :mod:`repro.workloads.scenarios` — helpers binding workloads, faults
+  and configs into runnable :class:`~repro.ptest.harness.AdaptiveTest`
+  scenarios (the per-experiment entry points).
+"""
+
+from repro.workloads.quicksort import (
+    QSORT_ELEMENTS,
+    make_quicksort_program,
+    quicksort_steps,
+)
+from repro.workloads.philosophers import (
+    make_philosopher_program,
+    fork_names,
+)
+from repro.workloads.producer_consumer import (
+    make_consumer_program,
+    make_producer_program,
+)
+from repro.workloads.readers_writers import (
+    make_reader_program,
+    make_writer_program,
+)
+from repro.workloads import barrier, fig1, pipeline, priority_inversion, scenarios
+
+__all__ = [
+    "QSORT_ELEMENTS",
+    "make_quicksort_program",
+    "quicksort_steps",
+    "make_philosopher_program",
+    "fork_names",
+    "make_consumer_program",
+    "make_producer_program",
+    "make_reader_program",
+    "make_writer_program",
+    "barrier",
+    "fig1",
+    "pipeline",
+    "priority_inversion",
+    "scenarios",
+]

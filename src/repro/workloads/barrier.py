@@ -1,0 +1,73 @@
+"""Cyclic barrier built from kernel semaphores.
+
+``parties`` tasks compute a phase, then meet at a barrier before the
+next phase — the lock-step structure of data-parallel DSP kernels.  The
+barrier is a classic two-semaphore turnstile over a shared counter in
+SRAM.  The ``faulty`` variant drops one turnstile release every third
+phase, wedging the whole group (everyone blocked on the turnstile) —
+which the detector reports as starvation of blocked tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.errors import ReproError
+from repro.pcore.kernel import PCoreKernel
+from repro.pcore.programs import (
+    Acquire,
+    Compute,
+    Exit,
+    MemRead,
+    MemWrite,
+    Release,
+    Syscall,
+    TaskContext,
+)
+
+COUNT_ADDR = 0x0D00
+BARRIER_MUTEX = "barrier_mutex"
+TURNSTILE_SEM = "barrier_turnstile"
+
+
+def setup_barrier(kernel: PCoreKernel) -> None:
+    """Register the barrier's semaphore (closed) before tasks start."""
+    kernel.add_semaphore(TURNSTILE_SEM, 0)
+
+
+def make_barrier_program(
+    parties: int, phases: int = 3, work: int = 5, faulty: bool = False
+):
+    """One participant of a ``parties``-task barrier group.
+
+    The last arriver of each phase releases the turnstile ``parties - 1``
+    times (once per waiter); the faulty variant releases one short on
+    every third phase.
+    """
+    if parties < 2:
+        raise ReproError(f"parties must be >= 2, got {parties}")
+    if phases < 1:
+        raise ReproError(f"phases must be >= 1, got {phases}")
+
+    def program(ctx: TaskContext) -> Generator[Syscall, object, None]:
+        del ctx
+        for phase in range(phases):
+            yield Compute(work)
+            # Arrive: bump the shared counter under the mutex.
+            yield Acquire(BARRIER_MUTEX)
+            arrived = (yield MemRead(COUNT_ADDR)) + 1
+            yield MemWrite(COUNT_ADDR, arrived % 2**16)
+            yield Release(BARRIER_MUTEX)
+            if arrived == parties:
+                # Last arriver: reset and open the turnstile for others.
+                yield MemWrite(COUNT_ADDR, 0)
+                releases = parties - 1
+                if faulty and phase % 3 == 2:
+                    releases -= 1  # the dropped release
+                for _ in range(releases):
+                    yield Release(TURNSTILE_SEM)
+            else:
+                yield Acquire(TURNSTILE_SEM)
+        yield Exit(phases)
+
+    return program

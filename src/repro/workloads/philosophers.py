@@ -1,0 +1,89 @@
+"""Dining philosophers (the paper's second test case).
+
+"We implemented a buggy version of the dining philosophers problem that
+could lead to deadlock.  The algorithm consisted of three concurrent
+tasks in pCore and three shared resources that were mutually exclusive.
+A task needed two shared resources to resume its execution."
+
+The buggy variant acquires ``fork[i]`` then ``fork[(i+1) % count]`` —
+the classic cyclic acquisition order.  Under plain priority scheduling a
+single task grabs both forks and eats before anyone else runs; the
+deadlock only appears when a scheduler-like force (pTest's cyclic merge
+op suspending each task between its two acquisitions) makes every task
+hold one fork.  The ``hold_steps`` compute between the acquisitions is
+the window that force aims at.
+
+The correct variant acquires forks in ascending name order, which breaks
+the cycle regardless of interleaving — the control for E6.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.errors import ReproError
+from repro.pcore.programs import (
+    Acquire,
+    Compute,
+    Exit,
+    Release,
+    Syscall,
+    TaskContext,
+    YieldCpu,
+)
+
+
+def fork_names(count: int = 3) -> list[str]:
+    """Names of the shared resources (auto-created kernel mutexes)."""
+    return [f"fork{i}" for i in range(count)]
+
+
+def make_philosopher_program(
+    seat: int,
+    count: int = 3,
+    meals: int = 3,
+    hold_steps: int = 60,
+    eat_steps: int = 5,
+    ordered: bool = False,
+):
+    """Build one philosopher's task program.
+
+    Parameters
+    ----------
+    seat:
+        The philosopher's position (0-based); determines its forks.
+    count:
+        Number of philosophers/forks.
+    meals:
+        Meals before the task exits on its own.
+    hold_steps:
+        Compute units between the first and second acquisition — the
+        suspension window for the deadlock-forcing pattern.
+    eat_steps:
+        Compute units while holding both forks.
+    ordered:
+        ``True`` = correct ascending acquisition (no deadlock possible),
+        ``False`` = the paper's buggy cyclic order.
+    """
+    if not 0 <= seat < count:
+        raise ReproError(f"seat {seat} out of range for {count} philosophers")
+    if count < 2:
+        raise ReproError(f"need at least 2 philosophers, got {count}")
+    forks = fork_names(count)
+    first, second = forks[seat], forks[(seat + 1) % count]
+    if ordered and first > second:
+        first, second = second, first
+
+    def program(ctx: TaskContext) -> Generator[Syscall, object, None]:
+        del ctx
+        for _meal in range(meals):
+            yield Acquire(first)
+            yield Compute(hold_steps)  # <- the window pTest's TS targets
+            yield Acquire(second)
+            yield Compute(eat_steps)
+            yield Release(second)
+            yield Release(first)
+            yield YieldCpu()
+        yield Exit(meals)
+
+    return program

@@ -1,0 +1,123 @@
+"""A dataflow pipeline over kernel message queues.
+
+``source -> stage_1 -> ... -> stage_k -> sink``: the source emits a
+numbered stream, each stage applies ``value + 1`` and forwards, the
+sink verifies it receives exactly ``count`` values each equal to its
+index plus the stage count.  Exercises QSend/QRecv blocking both ways
+(full and empty queues) and is the workload for the context-switch-cost
+ablation (A1): pipeline throughput is context-switch bound.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.errors import ReproError
+from repro.pcore.kernel import PCoreKernel
+from repro.pcore.programs import Compute, Exit, QRecv, QSend, Syscall, TaskContext
+
+
+def queue_name(index: int) -> str:
+    return f"pipe{index}"
+
+
+def make_source_program(count: int, work: int = 1):
+    """Emit ``0..count-1`` into the first queue."""
+    if count < 1:
+        raise ReproError(f"count must be >= 1, got {count}")
+
+    def program(ctx: TaskContext) -> Generator[Syscall, object, None]:
+        del ctx
+        for value in range(count):
+            yield Compute(work)
+            yield QSend(queue_name(0), value)
+        yield Exit(count)
+
+    return program
+
+
+def make_stage_program(stage: int, count: int, work: int = 1):
+    """Receive from ``pipe{stage}``, add one, forward to ``pipe{stage+1}``."""
+
+    def program(ctx: TaskContext) -> Generator[Syscall, object, None]:
+        del ctx
+        for _ in range(count):
+            value = yield QRecv(queue_name(stage))
+            yield Compute(work)
+            yield QSend(queue_name(stage + 1), (value + 1) % 2**32)
+        yield Exit(count)
+
+    return program
+
+
+def make_sink_program(stage_count: int, count: int):
+    """Verify the stream arrives in order, each value bumped per stage."""
+
+    def program(ctx: TaskContext) -> Generator[Syscall, object, None]:
+        for index in range(count):
+            value = yield QRecv(queue_name(stage_count))
+            expected = index + stage_count
+            if value != expected:
+                raise ReproError(
+                    f"sink {ctx.tid}: expected {expected}, got {value}"
+                )
+        yield Exit(count)
+
+    return program
+
+
+def build_pipeline(
+    kernel: PCoreKernel,
+    stages: int = 2,
+    count: int = 16,
+    queue_capacity: int = 2,
+    work: int = 1,
+    base_priority: int = 1,
+) -> list[int]:
+    """Create queues and tasks for a full pipeline; returns the tids.
+
+    Priorities ascend along the pipeline (the sink runs hottest), which
+    keeps queues short and maximises context-switch pressure.
+    """
+    if stages < 1:
+        raise ReproError(f"stages must be >= 1, got {stages}")
+    for index in range(stages + 1):
+        kernel.add_message_queue(queue_name(index), capacity=queue_capacity)
+    kernel.register_program("pipe_source", make_source_program(count, work=work))
+    for stage in range(stages):
+        kernel.register_program(
+            f"pipe_stage{stage}", make_stage_program(stage, count, work=work)
+        )
+    kernel.register_program("pipe_sink", make_sink_program(stages, count))
+
+    from repro.pcore.services import ServiceCode, ServiceRequest
+
+    names = (
+        ["pipe_source"]
+        + [f"pipe_stage{s}" for s in range(stages)]
+        + ["pipe_sink"]
+    )
+    tids = []
+    for offset, name in enumerate(names):
+        result = kernel.execute_service(
+            ServiceRequest(
+                service=ServiceCode.TC,
+                priority=base_priority + offset,
+                program=name,
+            )
+        )
+        if not result.ok:
+            raise ReproError(f"pipeline task {name} not created: {result}")
+        tids.append(result.value)
+    return tids
+
+
+def run_pipeline_to_completion(
+    kernel: PCoreKernel, max_ticks: int = 100_000
+) -> int:
+    """Step the kernel until every pipeline task exits; returns ticks."""
+    for tick in range(max_ticks):
+        kernel.step(tick)
+        if not kernel.tasks:
+            return tick + 1
+    raise ReproError(f"pipeline did not drain within {max_ticks} ticks")

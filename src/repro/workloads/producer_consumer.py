@@ -1,0 +1,89 @@
+"""Producer/consumer over shared memory with semaphore flow control.
+
+A bounded ring buffer lives in shared SRAM (the inter-core idiom the
+paper's communication-infrastructure section describes); ``items`` and
+``space`` counting semaphores guard it, and a mutex serialises index
+updates.  The workload exercises semaphores, blocking and shared-memory
+syscalls together — the detector must *not* flag its ordinary waiting as
+an anomaly (a false-positive regression test), while a missing
+``Release`` (the ``faulty`` producer) starves the consumer for real.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.errors import ReproError
+from repro.pcore.programs import (
+    Acquire,
+    Compute,
+    Exit,
+    MemRead,
+    MemWrite,
+    Release,
+    Syscall,
+    TaskContext,
+)
+
+#: Shared-memory layout (u16 slots): ring base, then head/tail indices.
+RING_BASE = 0x1000
+HEAD_ADDR = 0x0F00
+TAIL_ADDR = 0x0F02
+
+ITEMS_SEM = "pc_items"
+SPACE_SEM = "pc_space"
+INDEX_MUTEX = "pc_index"
+
+
+def make_producer_program(
+    count: int, ring_slots: int = 8, faulty: bool = False
+):
+    """Produce ``count`` values; the ``faulty`` variant forgets to signal
+    ``items`` on every fourth item (a lost wakeup)."""
+    if count < 1:
+        raise ReproError(f"count must be >= 1, got {count}")
+    if ring_slots < 1:
+        raise ReproError(f"ring_slots must be >= 1, got {ring_slots}")
+
+    def program(ctx: TaskContext) -> Generator[Syscall, object, None]:
+        del ctx
+        for item in range(count):
+            yield Acquire(SPACE_SEM)
+            yield Acquire(INDEX_MUTEX)
+            tail = yield MemRead(TAIL_ADDR)
+            yield MemWrite(RING_BASE + 2 * (tail % ring_slots), item % 2**16)
+            yield MemWrite(TAIL_ADDR, (tail + 1) % 2**16)
+            yield Release(INDEX_MUTEX)
+            lost = faulty and item % 4 == 3
+            if not lost:
+                yield Release(ITEMS_SEM)
+            yield Compute(2)
+        yield Exit(count)
+
+    return program
+
+
+def make_consumer_program(count: int, ring_slots: int = 8):
+    """Consume ``count`` values, verifying FIFO order."""
+    if count < 1:
+        raise ReproError(f"count must be >= 1, got {count}")
+
+    def program(ctx: TaskContext) -> Generator[Syscall, object, None]:
+        expected = 0
+        for _ in range(count):
+            yield Acquire(ITEMS_SEM)
+            yield Acquire(INDEX_MUTEX)
+            head = yield MemRead(HEAD_ADDR)
+            value = yield MemRead(RING_BASE + 2 * (head % ring_slots))
+            yield MemWrite(HEAD_ADDR, (head + 1) % 2**16)
+            yield Release(INDEX_MUTEX)
+            if value != expected % 2**16:
+                raise ReproError(
+                    f"consumer {ctx.tid}: expected {expected}, got {value}"
+                )
+            expected += 1
+            yield Release(SPACE_SEM)
+            yield Compute(2)
+        yield Exit(expected)
+
+    return program

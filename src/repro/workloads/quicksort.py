@@ -1,0 +1,92 @@
+"""The paper's stress workload: quick-sort of 128 two-byte integers.
+
+"All of 16 active tasks performed the same quick-sort algorithm to
+individually sort 128 integer elements.  The size of integer data is
+2 bytes and the stack size of each task is 512 bytes."
+
+The sort really runs (an explicit-stack quicksort, matching a 512-byte
+embedded stack discipline), charging :class:`~repro.pcore.programs.
+Compute` units per partition pass and yielding the CPU between
+partitions so the scheduler can interleave tasks.  The program verifies
+its own output and raises on a mis-sort, so any kernel bug that corrupts
+task state surfaces as a loud failure rather than silent data damage.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator
+
+from repro.errors import ReproError
+from repro.pcore.programs import Compute, Exit, Syscall, TaskContext, YieldCpu
+
+#: Elements per task, per the paper.
+QSORT_ELEMENTS = 128
+
+#: Values fit the paper's 2-byte integers.
+_VALUE_RANGE = (0, 2**16 - 1)
+
+
+def quicksort_steps(data: list[int]) -> Generator[int, None, list[int]]:
+    """Iterative quicksort yielding the partition size after each pass.
+
+    Yields once per partition step (its cost), returns the sorted list.
+    Separated from the task program so it is unit-testable on its own.
+    """
+    values = list(data)
+    stack: list[tuple[int, int]] = [(0, len(values) - 1)]
+    while stack:
+        low, high = stack.pop()
+        if low >= high:
+            continue
+        pivot = values[(low + high) // 2]
+        left, right = low, high
+        while left <= right:
+            while values[left] < pivot:
+                left += 1
+            while values[right] > pivot:
+                right -= 1
+            if left <= right:
+                values[left], values[right] = values[right], values[left]
+                left += 1
+                right -= 1
+        stack.append((low, right))
+        stack.append((left, high))
+        yield high - low + 1
+    return values
+
+
+def make_quicksort_program(elements: int = QSORT_ELEMENTS, compute_scale: int = 8):
+    """Build the task program; data is seeded by task id so every task
+    sorts a different (but reproducible) array."""
+    if elements < 1:
+        raise ReproError(f"elements must be >= 1, got {elements}")
+    if compute_scale < 1:
+        raise ReproError(f"compute_scale must be >= 1, got {compute_scale}")
+
+    def program(ctx: TaskContext) -> Generator[Syscall, object, None]:
+        rng = random.Random(ctx.tid * 2654435761 % 2**32)
+        data = [rng.randint(*_VALUE_RANGE) for _ in range(elements)]
+        sorter = quicksort_steps(data)
+        result: list[int] | None = None
+        while True:
+            try:
+                cost = next(sorter)
+            except StopIteration as stop:
+                result = stop.value
+                break
+            yield Compute(max(1, cost // compute_scale))
+            yield YieldCpu()
+        if result is None or any(
+            result[i] > result[i + 1] for i in range(len(result) - 1)
+        ):
+            raise ReproError(
+                f"task {ctx.tid}: quicksort produced an unsorted result"
+            )
+        if sorted(data) != result:
+            raise ReproError(
+                f"task {ctx.tid}: quicksort lost or invented elements"
+            )
+        yield Exit(len(result))
+
+    return program

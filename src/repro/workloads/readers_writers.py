@@ -1,0 +1,78 @@
+"""Readers/writers over a shared counter in SRAM.
+
+Readers repeatedly read a shared cell under a mutex; the writer
+increments it.  Two uses:
+
+* the plain variant is a healthy concurrent workload for coverage and
+  detector false-positive tests;
+* the ``greedy`` reader variant holds the lock across long computes, a
+  realistic starvation generator for detector threshold studies (E-ext).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.errors import ReproError
+from repro.pcore.programs import (
+    Acquire,
+    Compute,
+    Exit,
+    MemRead,
+    MemWrite,
+    Release,
+    Syscall,
+    TaskContext,
+    YieldCpu,
+)
+
+COUNTER_ADDR = 0x0E00
+RW_MUTEX = "rw_lock"
+
+
+def make_writer_program(increments: int, hold_steps: int = 2):
+    """Increment the shared counter ``increments`` times under the lock."""
+    if increments < 1:
+        raise ReproError(f"increments must be >= 1, got {increments}")
+
+    def program(ctx: TaskContext) -> Generator[Syscall, object, None]:
+        del ctx
+        for _ in range(increments):
+            yield Acquire(RW_MUTEX)
+            value = yield MemRead(COUNTER_ADDR)
+            yield Compute(hold_steps)
+            yield MemWrite(COUNTER_ADDR, (value + 1) % 2**16)
+            yield Release(RW_MUTEX)
+            yield YieldCpu()
+        yield Exit(increments)
+
+    return program
+
+
+def make_reader_program(reads: int, hold_steps: int = 2, greedy: bool = False):
+    """Read the counter ``reads`` times; monotonicity is asserted.
+
+    ``greedy`` readers hold the lock for 50x longer, starving lower
+    priority contenders.
+    """
+    if reads < 1:
+        raise ReproError(f"reads must be >= 1, got {reads}")
+    effective_hold = hold_steps * (50 if greedy else 1)
+
+    def program(ctx: TaskContext) -> Generator[Syscall, object, None]:
+        last = -1
+        for _ in range(reads):
+            yield Acquire(RW_MUTEX)
+            value = yield MemRead(COUNTER_ADDR)
+            yield Compute(effective_hold)
+            yield Release(RW_MUTEX)
+            if value < last:
+                raise ReproError(
+                    f"reader {ctx.tid}: counter went backwards "
+                    f"({last} -> {value})"
+                )
+            last = value
+            yield YieldCpu()
+        yield Exit(last)
+
+    return program

@@ -1,0 +1,243 @@
+"""Ready-made test scenarios binding workloads to the pTest harness.
+
+Each scenario function returns a fully-wired
+:class:`~repro.ptest.harness.AdaptiveTest` so examples, tests and
+benches share one definition of "the paper's test case N".
+"""
+
+from __future__ import annotations
+
+from repro.automata.pfa import PFA, Transition
+from repro.pcore.kernel import KernelConfig, PCoreKernel
+from repro.ptest.config import PTestConfig
+from repro.ptest.harness import AdaptiveTest
+from repro.workloads.philosophers import make_philosopher_program
+from repro.workloads.producer_consumer import (
+    ITEMS_SEM,
+    SPACE_SEM,
+    make_consumer_program,
+    make_producer_program,
+)
+from repro.workloads.quicksort import make_quicksort_program
+
+
+def lifecycle_pfa(symbols: tuple[str, ...]) -> PFA:
+    """A degenerate PFA whose every walk is exactly ``symbols`` — used
+    when a scenario needs a *crafted* pattern (the paper "set the
+    pattern merger ... to produce the test pattern that forced ..."),
+    while still flowing through the ordinary generator machinery."""
+    transitions: dict[int, dict[str, Transition]] = {}
+    for index, symbol in enumerate(symbols):
+        transitions[index] = {
+            symbol: Transition(
+                source=index, symbol=symbol, target=index + 1, probability=1.0
+            )
+        }
+    return PFA(
+        num_states=len(symbols) + 1,
+        alphabet=frozenset(symbols),
+        transitions=transitions,
+        start=0,
+        accepts=frozenset({len(symbols)}),
+        state_labels={len(symbols): "end"},
+    )
+
+
+def stress_case1(
+    seed: int = 0,
+    buggy_gc: bool = True,
+    memory_bytes: int = 24 * 1024,
+    max_ticks: int = 200_000,
+    pattern_size: int = 6,
+) -> AdaptiveTest:
+    """Test case 1: 16 quick-sort tasks under create/delete churn.
+
+    "pTest kept the number of active tasks at 16 in pCore ... All of 16
+    active tasks performed the same quick-sort algorithm to individually
+    sort 128 integer elements ... pTest continued to create tasks and
+    removed them when their work was done."
+
+    With ``buggy_gc=True`` the kernel leaks the memory of tasks deleted
+    mid-flight and eventually panics in ``task_create`` — the crash the
+    paper's first test period found.  ``memory_bytes`` is shrunk from
+    160 KB so the leak reaches exhaustion in simulation-scale time; the
+    fault and its detection path are unchanged.
+    """
+    config = PTestConfig(
+        pattern_count=16,
+        pattern_size=pattern_size,
+        op="random",
+        seed=seed,
+        program="qsort",
+        lockstep=True,
+        restart_patterns=True,
+        max_ticks=max_ticks,
+        # Under strict priority scheduling the lowest-priority quicksort
+        # task legitimately waits for its betters; the no-progress window
+        # must exceed that latency or starvation masks the crash.
+        progress_window=50_000,
+        reply_timeout=10_000,
+        kernel=KernelConfig(
+            max_tasks=16,
+            buggy_gc=buggy_gc,
+            memory_bytes=memory_bytes,
+            gc_interval=32,
+        ),
+    )
+    return AdaptiveTest(
+        config=config,
+        programs={"qsort": make_quicksort_program()},
+    )
+
+
+def philosophers_case2(
+    seed: int = 0,
+    op: str = "cyclic",
+    chunk: int = 2,
+    count: int = 3,
+    ordered: bool = False,
+    max_ticks: int = 30_000,
+    hold_steps: int = 60,
+) -> AdaptiveTest:
+    """Test case 2: the buggy dining philosophers.
+
+    Three tasks, three mutually exclusive resources; each pattern is the
+    crafted lifecycle ``TC TS TR`` and the cyclic merge op interleaves
+    them so every philosopher grabs its first fork, is suspended, and is
+    resumed straight into the deadlock cycle.  ``ordered=True`` swaps in
+    the correct acquisition order (control: no deadlock under any op).
+    """
+    programs = {
+        f"phil{seat}": make_philosopher_program(
+            seat, count=count, ordered=ordered, hold_steps=hold_steps
+        )
+        for seat in range(count)
+    }
+
+    # Each pair's pattern: create, suspend (mid-acquisition), resume.
+    pfa = lifecycle_pfa(("TC", "TS", "TR"))
+    config = PTestConfig(
+        pattern_count=count,
+        pattern_size=3,
+        op=op,
+        chunk=chunk,
+        seed=seed,
+        program="phil0",
+        pair_programs=tuple(f"phil{seat}" for seat in range(count)),
+        lockstep=True,
+        max_ticks=max_ticks,
+        progress_window=2_000,  # let deadlock win over starvation
+        reply_timeout=5_000,
+    )
+    return AdaptiveTest(config=config, programs=programs, pfa=pfa)
+
+
+def philosophers_programs(count: int = 3, ordered: bool = False) -> dict:
+    """The per-seat philosopher programs, for custom harness wiring."""
+    return {
+        f"phil{seat}": make_philosopher_program(seat, count=count, ordered=ordered)
+        for seat in range(count)
+    }
+
+
+def priority_inversion_scenario(
+    seed: int = 0,
+    inheritance: bool = False,
+    hog_steps: int = 3_000,
+    max_ticks: int = 15_000,
+) -> AdaptiveTest:
+    """The classic priority-inversion triple (low locker / medium hog /
+    high waiter) as a *latency* study.
+
+    Without ``inheritance`` the high-priority waiter's lock acquisition
+    waits behind the medium hog's whole burst (inverted priorities);
+    with the kernel's priority-inheritance switch the low owner is
+    boosted, releases promptly, and the high task completes ~20x
+    earlier.  Use :func:`high_task_completion_tick` on the returned
+    test's tracer after running to extract the metric.  The detector is
+    configured quiet here (waits are finite); the fault-catalogue's
+    ``priority_starvation`` entry covers the detection path.
+    """
+    from repro.workloads.priority_inversion import (
+        make_high_waiter_program,
+        make_hog_program,
+        make_low_locker_program,
+    )
+
+    config = PTestConfig(
+        pattern_count=3,
+        pattern_size=1,
+        op="round_robin",
+        seed=seed,
+        program="pi_low",
+        # Pair bands make pair0 < pair1 < pair2 in priority.
+        pair_programs=("pi_low", "pi_hog", "pi_high"),
+        lockstep=True,
+        max_ticks=max_ticks,
+        progress_window=4 * max_ticks,
+        reply_timeout=4 * max_ticks,
+        kernel=KernelConfig(priority_inheritance=inheritance),
+    )
+    return AdaptiveTest(
+        config=config,
+        programs={
+            "pi_low": make_low_locker_program(),
+            "pi_hog": make_hog_program(burn_steps=hog_steps),
+            "pi_high": make_high_waiter_program(),
+        },
+        pfa=lifecycle_pfa(("TC",)),
+    )
+
+
+def high_task_completion_tick(test: AdaptiveTest) -> int | None:
+    """Tick at which the high-priority waiter of
+    :func:`priority_inversion_scenario` terminated (``None`` if it never
+    did).  Pair 2's task is created third, so it holds tid 3."""
+    for event in test.tracer.events:
+        if (
+            event.category == "task"
+            and event.payload.get("event") == "terminate"
+            and event.payload.get("tid") == 3
+        ):
+            return event.time
+    return None
+
+
+def producer_consumer_scenario(
+    seed: int = 0,
+    items: int = 12,
+    ring_slots: int = 4,
+    faulty: bool = False,
+    max_ticks: int = 40_000,
+) -> AdaptiveTest:
+    """A two-pair producer/consumer run (detector sanity + lost-wakeup
+    starvation when ``faulty``)."""
+
+    def setup(kernel: PCoreKernel) -> None:
+        kernel.add_semaphore(ITEMS_SEM, 0)
+        kernel.add_semaphore(SPACE_SEM, ring_slots)
+
+    pfa = lifecycle_pfa(("TC",))
+    config = PTestConfig(
+        pattern_count=2,
+        pattern_size=1,
+        op="round_robin",
+        seed=seed,
+        program="producer",
+        pair_programs=("producer", "consumer"),
+        lockstep=True,
+        max_ticks=max_ticks,
+        progress_window=800,
+        reply_timeout=5_000,
+    )
+    return AdaptiveTest(
+        config=config,
+        programs={
+            "producer": make_producer_program(
+                items, ring_slots=ring_slots, faulty=faulty
+            ),
+            "consumer": make_consumer_program(items, ring_slots=ring_slots),
+        },
+        pfa=pfa,
+        setup=setup,
+    )

@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.pfa import PFA, Transition
+from repro.pcore.kernel import KernelConfig, PCoreKernel
+from repro.pcore.services import ServiceCode, ServiceRequest
+from repro.sim.memory import SharedMemory
+
+
+@pytest.fixture
+def fig3_pfa() -> PFA:
+    """The paper's Fig. 3 PFA: three states, alphabet {a,b,c,d},
+    (ac*d)|b with P(a)=0.6, P(b)=0.4, P(c)=0.3, P(d)=0.7."""
+    transitions = {
+        0: {
+            "a": Transition(source=0, symbol="a", target=1, probability=0.6),
+            "b": Transition(source=0, symbol="b", target=2, probability=0.4),
+        },
+        1: {
+            "c": Transition(source=1, symbol="c", target=1, probability=0.3),
+            "d": Transition(source=1, symbol="d", target=2, probability=0.7),
+        },
+    }
+    return PFA(
+        num_states=3,
+        alphabet=frozenset("abcd"),
+        transitions=transitions,
+        start=0,
+        accepts=frozenset({2}),
+        state_labels={0: "q0", 1: "q1", 2: "q2"},
+    )
+
+
+@pytest.fixture
+def kernel() -> PCoreKernel:
+    """A fresh pCore kernel with shared memory attached."""
+    return PCoreKernel(
+        config=KernelConfig(), shared_memory=SharedMemory(size=64 * 1024)
+    )
+
+
+def create_task(
+    kernel: PCoreKernel,
+    priority: int,
+    program: str = "idle",
+    target: int | None = None,
+):
+    """Helper: run a TC service directly and return its result."""
+    return kernel.execute_service(
+        ServiceRequest(
+            service=ServiceCode.TC,
+            target=target,
+            priority=priority,
+            program=program,
+        )
+    )
+
+
+def run_service(kernel: PCoreKernel, service: ServiceCode, **kwargs):
+    """Helper: execute any service synchronously."""
+    return kernel.execute_service(
+        ServiceRequest(service=service, **kwargs)
+    )

@@ -1,0 +1,174 @@
+"""Tests for Thompson NFA construction and subset/minimised DFAs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.dfa import minimize_dfa, nfa_to_dfa
+from repro.automata.nfa import NFA, regex_to_nfa
+from repro.automata.regex_parser import parse_regex
+from repro.errors import AutomatonError
+
+
+def compile_nfa(source: str) -> NFA:
+    return regex_to_nfa(parse_regex(source))
+
+
+class TestNFA:
+    def test_literal_accepts_only_itself(self):
+        nfa = compile_nfa("a")
+        assert nfa.accepts_word(["a"])
+        assert not nfa.accepts_word([])
+        assert not nfa.accepts_word(["a", "a"])
+        assert not nfa.accepts_word(["b"])
+
+    def test_concat(self):
+        nfa = compile_nfa("a b")
+        assert nfa.accepts_word(["a", "b"])
+        assert not nfa.accepts_word(["a"])
+        assert not nfa.accepts_word(["b", "a"])
+
+    def test_union(self):
+        nfa = compile_nfa("a | b")
+        assert nfa.accepts_word(["a"])
+        assert nfa.accepts_word(["b"])
+        assert not nfa.accepts_word(["a", "b"])
+
+    def test_star(self):
+        nfa = compile_nfa("a*")
+        for count in range(5):
+            assert nfa.accepts_word(["a"] * count)
+        assert not nfa.accepts_word(["b"])
+
+    def test_plus_requires_one(self):
+        nfa = compile_nfa("a+")
+        assert not nfa.accepts_word([])
+        assert nfa.accepts_word(["a"])
+        assert nfa.accepts_word(["a", "a", "a"])
+
+    def test_optional(self):
+        nfa = compile_nfa("a?")
+        assert nfa.accepts_word([])
+        assert nfa.accepts_word(["a"])
+        assert not nfa.accepts_word(["a", "a"])
+
+    def test_fig3_language(self):
+        nfa = compile_nfa("(a c* d) | b")
+        assert nfa.accepts_word(["b"])
+        assert nfa.accepts_word(["a", "d"])
+        assert nfa.accepts_word(["a", "c", "c", "d"])
+        assert not nfa.accepts_word(["a", "c"])
+        assert not nfa.accepts_word(["a", "b"])
+
+    def test_epsilon_closure_includes_self(self):
+        nfa = compile_nfa("a")
+        closure = nfa.epsilon_closure([nfa.start])
+        assert nfa.start in closure
+
+    def test_unknown_symbol_rejected_in_simulation(self):
+        nfa = compile_nfa("a")
+        assert not nfa.accepts_word(["z"])
+
+    def test_invalid_structure_raises(self):
+        with pytest.raises(AutomatonError):
+            NFA(
+                num_states=1,
+                alphabet=frozenset("a"),
+                transitions={0: {"a": {5}}},  # target out of range
+                epsilon={},
+                start=0,
+                accepts=frozenset({0}),
+            )
+
+
+RE2 = "TC ((TCH)* | TS TR (TCH)*)* (TD$ | TY$)"
+
+RE2_ACCEPTED = [
+    ["TC", "TD"],
+    ["TC", "TY"],
+    ["TC", "TCH", "TD"],
+    ["TC", "TCH", "TCH", "TY"],
+    ["TC", "TS", "TR", "TD"],
+    ["TC", "TS", "TR", "TCH", "TY"],
+    ["TC", "TCH", "TS", "TR", "TCH", "TS", "TR", "TD"],
+]
+
+RE2_REJECTED = [
+    [],
+    ["TC"],
+    ["TD"],
+    ["TC", "TR", "TD"],          # resume without suspend
+    ["TC", "TS", "TD"],           # suspend without resume
+    ["TC", "TD", "TD"],           # anything after termination
+    ["TC", "TS", "TS", "TR", "TD"],  # double suspend
+    ["TCH", "TD"],                # must start with create
+]
+
+
+class TestDFA:
+    @pytest.mark.parametrize("word", RE2_ACCEPTED)
+    def test_re2_accepts(self, word):
+        dfa = nfa_to_dfa(compile_nfa(RE2))
+        assert dfa.accepts_word(word)
+
+    @pytest.mark.parametrize("word", RE2_REJECTED)
+    def test_re2_rejects(self, word):
+        dfa = nfa_to_dfa(compile_nfa(RE2))
+        assert not dfa.accepts_word(word)
+
+    def test_subset_construction_is_deterministic(self):
+        dfa = nfa_to_dfa(compile_nfa("(a c* d) | b"))
+        for state, arcs in dfa.transitions.items():
+            assert len(arcs) == len(set(arcs))  # one target per symbol
+
+    def test_dfa_start_is_zero(self):
+        dfa = nfa_to_dfa(compile_nfa("a b c"))
+        assert dfa.start == 0
+
+    def test_outgoing_returns_copy(self):
+        dfa = nfa_to_dfa(compile_nfa("a"))
+        arcs = dfa.outgoing(dfa.start)
+        arcs["poison"] = 99
+        assert "poison" not in dfa.outgoing(dfa.start)
+
+    def test_re2_subset_dfa_keeps_tc_and_tch_states_distinct(self):
+        # Fig. 5 relies on TC-state and TCH-state being separate even
+        # though they are language-equivalent (different probability rows).
+        dfa = nfa_to_dfa(compile_nfa(RE2))
+        after_tc = dfa.step(dfa.start, "TC")
+        after_tch = dfa.step(after_tc, "TCH")
+        assert after_tc != after_tch
+
+
+class TestMinimize:
+    def test_minimized_equivalent_on_fig3(self):
+        dfa = nfa_to_dfa(compile_nfa("(a c* d) | b"))
+        mini = minimize_dfa(dfa)
+        words = [
+            ["b"], ["a", "d"], ["a", "c", "d"], ["a"], ["d"], ["a", "c"],
+            ["a", "c", "c", "c", "d"], ["b", "b"],
+        ]
+        for word in words:
+            assert dfa.accepts_word(word) == mini.accepts_word(word)
+        assert mini.num_states <= dfa.num_states
+
+    def test_minimized_merges_equivalent_states(self):
+        # (a|b) c and (b|a) c lead to the same suffix language after a/b.
+        dfa = nfa_to_dfa(compile_nfa("(a | b) c"))
+        mini = minimize_dfa(dfa)
+        after_a = mini.step(mini.start, "a")
+        after_b = mini.step(mini.start, "b")
+        assert after_a == after_b
+
+    def test_minimize_merges_re2_tc_tch(self):
+        dfa = nfa_to_dfa(compile_nfa(RE2))
+        mini = minimize_dfa(dfa)
+        after_tc = mini.step(mini.start, "TC")
+        after_tch = mini.step(after_tc, "TCH")
+        assert after_tc == after_tch  # the merge Fig. 5 deliberately avoids
+
+    def test_minimized_start_state_is_relabelled_consistently(self):
+        dfa = nfa_to_dfa(compile_nfa("a b"))
+        mini = minimize_dfa(dfa)
+        assert mini.accepts_word(["a", "b"])
+        assert not mini.accepts_word(["a"])

@@ -1,0 +1,164 @@
+"""Tests for automata operations: completion, equivalence, enumeration."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.dfa import minimize_dfa, nfa_to_dfa
+from repro.automata.nfa import regex_to_nfa
+from repro.automata.operations import (
+    complete,
+    count_words_by_length,
+    distinguishing_word,
+    enumerate_words,
+    equivalent,
+    pfa_support_dfa,
+    take,
+)
+from repro.automata.regex_parser import parse_regex
+from repro.errors import AutomatonError
+from repro.ptest.pcore_model import (
+    PCORE_REGULAR_EXPRESSION,
+    PCORE_SERVICES,
+    pcore_pfa,
+    uniform_pcore_pfa,
+)
+
+
+def dfa_of(source: str, alphabet=None):
+    return nfa_to_dfa(regex_to_nfa(parse_regex(source, alphabet=alphabet)))
+
+
+class TestComplete:
+    def test_complete_adds_dead_state(self):
+        dfa = dfa_of("a b")
+        completed = complete(dfa)
+        assert completed.num_states == dfa.num_states + 1
+        for state in range(completed.num_states):
+            for symbol in completed.alphabet:
+                assert completed.step(state, symbol) is not None
+
+    def test_complete_preserves_language(self):
+        dfa = dfa_of("a b | c")
+        completed = complete(dfa)
+        for word in (["a", "b"], ["c"], ["a"], ["b"], ["a", "b", "c"]):
+            assert dfa.accepts_word(word) == completed.accepts_word(word)
+
+    def test_already_complete_returned_unchanged(self):
+        dfa = dfa_of("a*")  # single state, self loop, complete
+        assert complete(dfa) is dfa
+
+
+class TestEquivalence:
+    def test_identical_regexes_equivalent(self):
+        assert equivalent(dfa_of("a (b | c)"), dfa_of("a b | a c"))
+
+    def test_star_unrolling_equivalent(self):
+        assert equivalent(dfa_of("a a*"), dfa_of("a+"))
+
+    def test_different_languages_not_equivalent(self):
+        assert not equivalent(dfa_of("a b"), dfa_of("a b | a"))
+
+    def test_different_alphabets_not_equivalent(self):
+        assert not equivalent(dfa_of("a"), dfa_of("b"))
+
+    def test_fig5_support_equals_re2(self):
+        """The headline proof: the hand-built Fig. 5 PFA accepts exactly
+        the language of RE (2)."""
+        re2 = dfa_of(PCORE_REGULAR_EXPRESSION, alphabet=PCORE_SERVICES)
+        fig5 = pfa_support_dfa(pcore_pfa())
+        assert equivalent(re2, fig5)
+        assert distinguishing_word(re2, fig5) is None
+
+    def test_uniform_variant_same_support(self):
+        assert equivalent(
+            pfa_support_dfa(pcore_pfa()), pfa_support_dfa(uniform_pcore_pfa())
+        )
+
+    def test_distinguishing_word_is_shortest(self):
+        first = dfa_of("a b")
+        second = dfa_of("a b | a")
+        word = distinguishing_word(first, second)
+        assert word == ("a",)
+
+    def test_distinguishing_word_alphabet_mismatch(self):
+        with pytest.raises(AutomatonError):
+            distinguishing_word(dfa_of("a"), dfa_of("b"))
+
+    def test_minimization_equivalence_checked_exactly(self):
+        dfa = dfa_of(PCORE_REGULAR_EXPRESSION, alphabet=PCORE_SERVICES)
+        assert equivalent(dfa, minimize_dfa(dfa))
+
+
+class TestEnumeration:
+    def test_shortlex_order(self):
+        words = take(enumerate_words(dfa_of("a* b")), 4)
+        assert words == [("b",), ("a", "b"), ("a", "a", "b"), ("a", "a", "a", "b")]
+
+    def test_enumerate_respects_limit_and_length(self):
+        words = list(enumerate_words(dfa_of("a*"), limit=3))
+        assert len(words) == 3
+        words = list(enumerate_words(dfa_of("a*"), max_length=2))
+        assert words == [(), ("a",), ("a", "a")]
+
+    def test_pcore_shortest_lifecycles(self):
+        fig5 = pfa_support_dfa(pcore_pfa())
+        words = take(enumerate_words(fig5), 4)
+        # Exactly two length-2 lifecycles exist: TC TD and TC TY.
+        assert set(words[:2]) == {("TC", "TD"), ("TC", "TY")}
+
+    def test_count_words_by_length(self):
+        counts = count_words_by_length(dfa_of("a* b"), 4)
+        assert counts == [0, 1, 1, 1, 1]
+
+    def test_pcore_lifecycle_counts_explain_duplication(self):
+        counts = count_words_by_length(pfa_support_dfa(pcore_pfa()), 6)
+        assert counts[:3] == [0, 0, 2]  # few short words -> replication
+        assert counts[6] > counts[3]
+
+    def test_counts_match_enumeration(self):
+        dfa = dfa_of(PCORE_REGULAR_EXPRESSION, alphabet=PCORE_SERVICES)
+        counts = count_words_by_length(dfa, 5)
+        enumerated = [
+            len([w for w in enumerate_words(dfa, max_length=5) if len(w) == n])
+            for n in range(6)
+        ]
+        assert counts == enumerated
+
+
+SYMBOLS = ["a", "b", "c"]
+
+
+@st.composite
+def small_regex(draw):
+    from repro.automata.regex_ast import Concat, Literal, Optional_, Star, Union
+
+    def node(depth):
+        if depth == 0:
+            return Literal(draw(st.sampled_from(SYMBOLS)))
+        kind = draw(st.integers(min_value=0, max_value=4))
+        if kind == 0:
+            return Literal(draw(st.sampled_from(SYMBOLS)))
+        if kind == 1:
+            return Concat(node(depth - 1), node(depth - 1))
+        if kind == 2:
+            return Union(node(depth - 1), node(depth - 1))
+        if kind == 3:
+            return Star(node(depth - 1))
+        return Optional_(node(depth - 1))
+
+    return node(3)
+
+
+@given(node=small_regex())
+@settings(max_examples=80, deadline=None)
+def test_equivalence_reflexive_through_minimization(node):
+    """Property: a DFA is always equivalent to its minimization, and a
+    distinguishing word never exists between them."""
+    dfa = nfa_to_dfa(regex_to_nfa(node))
+    mini = minimize_dfa(dfa)
+    if dfa.alphabet != mini.alphabet:
+        return  # minimization of empty-language DFAs can drop symbols
+    assert equivalent(dfa, mini)
+    assert distinguishing_word(dfa, mini) is None

@@ -1,0 +1,177 @@
+"""Tests for the PFA (Definition 1), distributions and construction."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.automata.dfa import nfa_to_dfa
+from repro.automata.distributions import (
+    TransitionDistribution,
+    normalize_weights,
+    uniform_distribution,
+    validate_distribution,
+)
+from repro.automata.nfa import regex_to_nfa
+from repro.automata.pfa import PFA, Transition, build_pfa, pfa_from_regex
+from repro.automata.regex_parser import parse_regex
+from repro.errors import AutomatonError, DistributionError
+
+
+class TestTransition:
+    def test_probability_bounds(self):
+        with pytest.raises(AutomatonError):
+            Transition(source=0, symbol="a", target=1, probability=0.0)
+        with pytest.raises(AutomatonError):
+            Transition(source=0, symbol="a", target=1, probability=1.5)
+        Transition(source=0, symbol="a", target=1, probability=1.0)  # ok
+
+
+class TestDistributionHelpers:
+    def test_normalize_weights(self):
+        row = normalize_weights({"a": 3.0, "b": 1.0})
+        assert row == {"a": 0.75, "b": 0.25}
+
+    def test_normalize_rejects_negative(self):
+        with pytest.raises(DistributionError):
+            normalize_weights({"a": -1.0})
+
+    def test_normalize_rejects_zero_total(self):
+        with pytest.raises(DistributionError):
+            normalize_weights({"a": 0.0})
+
+    def test_uniform_distribution(self):
+        dist = uniform_distribution([(0, "a"), (0, "b"), (1, "c")])
+        assert dist.get(0, "a") == pytest.approx(0.5)
+        assert dist.get(0, "b") == pytest.approx(0.5)
+        assert dist.get(1, "c") == pytest.approx(1.0)
+
+    def test_transition_distribution_rejects_bad_weight(self):
+        dist = TransitionDistribution()
+        with pytest.raises(DistributionError):
+            dist.set(0, "a", -0.1)
+        with pytest.raises(DistributionError):
+            dist.set(0, "a", math.inf)
+
+    def test_normalized_drops_zero_rows(self):
+        dist = TransitionDistribution()
+        dist.set(0, "a", 0.0)
+        assert dist.normalized().row(0) == {}
+
+    def test_validate_detects_phantom_transition(self):
+        dist = TransitionDistribution()
+        dist.set(0, "z", 1.0)
+        with pytest.raises(DistributionError):
+            validate_distribution(dist, {0: ["a"]})
+
+    def test_validate_detects_bad_row_sum(self):
+        dist = TransitionDistribution()
+        dist.set(0, "a", 0.5)
+        dist.set(0, "b", 0.3)
+        with pytest.raises(DistributionError):
+            validate_distribution(dist, {0: ["a", "b"]})
+
+    def test_validate_allows_absorbing_states(self):
+        validate_distribution(TransitionDistribution(), {0: []})
+
+
+class TestPFAStructure:
+    def test_eq1_stochasticity_enforced(self):
+        transitions = {
+            0: {
+                "a": Transition(source=0, symbol="a", target=0, probability=0.5),
+            }
+        }
+        with pytest.raises(DistributionError):
+            PFA(
+                num_states=1,
+                alphabet=frozenset("a"),
+                transitions=transitions,
+                start=0,
+                accepts=frozenset({0}),
+            )
+
+    def test_fig3_probabilities(self, fig3_pfa):
+        # Word probabilities from the paper's example automaton.
+        assert fig3_pfa.word_probability(("b",)) == pytest.approx(0.4)
+        assert fig3_pfa.word_probability(("a", "d")) == pytest.approx(0.42)
+        assert fig3_pfa.word_probability(("a", "c", "d")) == pytest.approx(
+            0.6 * 0.3 * 0.7
+        )
+        assert fig3_pfa.word_probability(("a",)) == 0.0  # ends non-final
+        assert fig3_pfa.word_probability(("b", "b")) == 0.0
+
+    def test_fig3_total_mass_sums_to_one(self, fig3_pfa):
+        # sum over n of P(a c^n d) plus P(b) must equal 1.
+        total = fig3_pfa.word_probability(("b",))
+        for repeats in range(60):
+            word = ("a",) + ("c",) * repeats + ("d",)
+            total += fig3_pfa.word_probability(word)
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_walk_probability_counts_prefixes(self, fig3_pfa):
+        assert fig3_pfa.walk_probability(("a",)) == pytest.approx(0.6)
+        assert fig3_pfa.walk_probability(("a", "c")) == pytest.approx(0.18)
+
+    def test_has_probabilistic_choice(self, fig3_pfa):
+        assert fig3_pfa.has_probabilistic_choice(0)
+        assert fig3_pfa.has_probabilistic_choice(1)
+        assert not fig3_pfa.has_probabilistic_choice(2)
+
+    def test_absorbing_and_final(self, fig3_pfa):
+        assert fig3_pfa.is_absorbing(2)
+        assert fig3_pfa.is_final(2)
+        assert not fig3_pfa.is_absorbing(0)
+
+    def test_labels(self, fig3_pfa):
+        assert fig3_pfa.label(1) == "q1"
+        assert fig3_pfa.label(0) == "q0"
+
+    def test_to_dot_mentions_all_transitions(self, fig3_pfa):
+        dot = fig3_pfa.to_dot()
+        assert "a (0.6)" in dot
+        assert "d (0.7)" in dot
+        assert "doublecircle" in dot
+
+
+class TestBuildPFA:
+    def test_uniform_fallback(self):
+        pfa = pfa_from_regex("(a c* d) | b")
+        row = pfa.outgoing(pfa.start)
+        assert [t.probability for t in row] == pytest.approx([0.5, 0.5])
+
+    def test_partial_distribution_uses_uniform_elsewhere(self):
+        dfa = nfa_to_dfa(regex_to_nfa(parse_regex("(a c* d) | b")))
+        dist = TransitionDistribution()
+        dist.set(dfa.start, "a", 0.9)
+        dist.set(dfa.start, "b", 0.1)
+        pfa = build_pfa(dfa, dist)
+        by_symbol = {t.symbol: t.probability for t in pfa.outgoing(pfa.start)}
+        assert by_symbol["a"] == pytest.approx(0.9)
+        assert by_symbol["b"] == pytest.approx(0.1)
+        middle = dfa.step(dfa.start, "a")
+        inner = {t.symbol: t.probability for t in pfa.outgoing(middle)}
+        assert inner["c"] == pytest.approx(0.5)
+        assert inner["d"] == pytest.approx(0.5)
+
+    def test_distribution_weights_are_normalised(self):
+        dfa = nfa_to_dfa(regex_to_nfa(parse_regex("a | b")))
+        dist = TransitionDistribution()
+        dist.set(dfa.start, "a", 3.0)
+        dist.set(dfa.start, "b", 1.0)
+        pfa = build_pfa(dfa, dist)
+        by_symbol = {t.symbol: t.probability for t in pfa.outgoing(pfa.start)}
+        assert by_symbol["a"] == pytest.approx(0.75)
+
+    def test_language_preserved_through_pipeline(self):
+        pfa = pfa_from_regex("TC (TS TR)* (TD$ | TY$)", minimize=True)
+        assert pfa.accepts_word(("TC", "TD"))
+        assert pfa.accepts_word(("TC", "TS", "TR", "TY"))
+        assert not pfa.accepts_word(("TC", "TS", "TD"))
+
+    def test_minimize_false_keeps_structure(self):
+        regex = "TC ((TCH)* | TS TR (TCH)*)* (TD$ | TY$)"
+        unmin = pfa_from_regex(regex, minimize=False)
+        mini = pfa_from_regex(regex, minimize=True)
+        assert unmin.num_states > mini.num_states

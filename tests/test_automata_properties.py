@@ -1,0 +1,181 @@
+"""Property-based tests (hypothesis) for the automata pipeline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.dfa import minimize_dfa, nfa_to_dfa
+from repro.automata.distributions import TransitionDistribution
+from repro.automata.nfa import regex_to_nfa
+from repro.automata.pfa import build_pfa
+from repro.automata.regex_ast import (
+    Concat,
+    Literal,
+    Optional_,
+    Plus,
+    RegexNode,
+    Star,
+    Union,
+)
+from repro.automata.regex_parser import parse_regex
+from repro.automata.sampling import PatternSampler
+
+SYMBOLS = ["a", "b", "c", "TC", "TS", "TR", "TCH", "TD", "TY"]
+
+
+def regex_nodes(max_depth: int = 4) -> st.SearchStrategy[RegexNode]:
+    """Random regex ASTs over the symbol pool."""
+    literals = st.sampled_from(SYMBOLS).map(Literal)
+
+    def extend(children: st.SearchStrategy[RegexNode]):
+        return st.one_of(
+            st.tuples(children, children).map(lambda p: Concat(*p)),
+            st.tuples(children, children).map(lambda p: Union(*p)),
+            children.map(Star),
+            children.map(Plus),
+            children.map(Optional_),
+        )
+
+    return st.recursive(literals, extend, max_leaves=8)
+
+
+def words_over(symbols: list[str], max_size: int = 6):
+    return st.lists(st.sampled_from(symbols), max_size=max_size)
+
+
+def _canonical(node: RegexNode):
+    """Flatten associativity of Concat/Union so structurally different
+    but equivalent nestings compare equal."""
+    if isinstance(node, Concat):
+        parts = []
+        for child in (node.left, node.right):
+            flat = _canonical(child)
+            if isinstance(flat, tuple) and flat and flat[0] == "concat":
+                parts.extend(flat[1])
+            else:
+                parts.append(flat)
+        return ("concat", tuple(parts))
+    if isinstance(node, Union):
+        parts = []
+        for child in (node.left, node.right):
+            flat = _canonical(child)
+            if isinstance(flat, tuple) and flat and flat[0] == "union":
+                parts.extend(flat[1])
+            else:
+                parts.append(flat)
+        return ("union", tuple(parts))
+    if isinstance(node, Star):
+        return ("star", _canonical(node.child))
+    if isinstance(node, Plus):
+        return ("plus", _canonical(node.child))
+    if isinstance(node, Optional_):
+        return ("opt", _canonical(node.child))
+    return ("lit", node.symbol) if isinstance(node, Literal) else ("other",)
+
+
+@given(node=regex_nodes())
+@settings(max_examples=150, deadline=None)
+def test_to_string_parse_roundtrip(node: RegexNode):
+    """Rendering an AST and re-parsing it yields an equivalent AST
+    (equal up to concat/union associativity)."""
+    assert _canonical(parse_regex(node.to_string())) == _canonical(node)
+
+
+@given(node=regex_nodes(), word=words_over(SYMBOLS))
+@settings(max_examples=150, deadline=None)
+def test_nfa_and_dfa_agree(node: RegexNode, word: list[str]):
+    """Subset construction preserves the language."""
+    nfa = regex_to_nfa(node)
+    dfa = nfa_to_dfa(nfa)
+    assert nfa.accepts_word(word) == dfa.accepts_word(word)
+
+
+@given(node=regex_nodes(), word=words_over(SYMBOLS))
+@settings(max_examples=150, deadline=None)
+def test_minimization_preserves_language(node: RegexNode, word: list[str]):
+    dfa = nfa_to_dfa(regex_to_nfa(node))
+    mini = minimize_dfa(dfa)
+    assert dfa.accepts_word(word) == mini.accepts_word(word)
+    assert mini.num_states <= dfa.num_states
+
+
+@given(node=regex_nodes())
+@settings(max_examples=100, deadline=None)
+def test_nullable_agrees_with_nfa_on_empty_word(node: RegexNode):
+    """AST nullability is exactly NFA acceptance of the empty word."""
+    assert node.nullable() == regex_to_nfa(node).accepts_word([])
+
+
+@given(
+    node=regex_nodes(),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    size=st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=150, deadline=None)
+def test_sampled_patterns_are_valid_prefix_walks(node, seed, size):
+    """Every sampled pattern is a positive-probability walk of its PFA
+    (the paper's guarantee: patterns are services 'arranged in rational
+    order')."""
+    dfa = nfa_to_dfa(regex_to_nfa(node))
+    if not dfa.transitions.get(dfa.start):
+        return  # start state absorbing: sampler rejects it by design
+    pfa = build_pfa(dfa)
+    sampled = PatternSampler(pfa, seed=seed).sample(size)
+    assert pfa.walk_probability(sampled.symbols) > 0.0
+    assert len(sampled.symbols) <= size
+
+
+@given(
+    weights=st.dictionaries(
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.floats(min_value=0.01, max_value=100.0),
+        min_size=1,
+        max_size=4,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_normalized_rows_sum_to_one(weights):
+    dist = TransitionDistribution()
+    for symbol, weight in weights.items():
+        dist.set(0, symbol, weight)
+    row = dist.normalized().row(0)
+    assert sum(row.values()) == pytest.approx(1.0)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    size=st.integers(min_value=1, max_value=30),
+)
+@settings(max_examples=100, deadline=None)
+def test_restart_sampler_always_fills(fig3_pfa_factory, seed, size):
+    sampled = PatternSampler(
+        fig3_pfa_factory(), seed=seed, on_final="restart"
+    ).sample(size)
+    assert len(sampled.symbols) == size
+
+
+@pytest.fixture(scope="module")
+def fig3_pfa_factory():
+    from repro.automata.pfa import PFA, Transition
+
+    def factory() -> PFA:
+        transitions = {
+            0: {
+                "a": Transition(source=0, symbol="a", target=1, probability=0.6),
+                "b": Transition(source=0, symbol="b", target=2, probability=0.4),
+            },
+            1: {
+                "c": Transition(source=1, symbol="c", target=1, probability=0.3),
+                "d": Transition(source=1, symbol="d", target=2, probability=0.7),
+            },
+        }
+        return PFA(
+            num_states=3,
+            alphabet=frozenset("abcd"),
+            transitions=transitions,
+            start=0,
+            accepts=frozenset({2}),
+        )
+
+    return factory

@@ -1,0 +1,173 @@
+"""Tests for the regex tokenizer, parser and AST."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.regex_ast import (
+    Concat,
+    Empty,
+    Epsilon,
+    Literal,
+    Optional_,
+    Plus,
+    Star,
+    Union,
+    concat_all,
+    union_all,
+)
+from repro.automata.regex_parser import parse_regex, tokenize
+from repro.errors import RegexSyntaxError
+
+
+class TestTokenize:
+    def test_single_symbol(self):
+        tokens = tokenize("TC")
+        assert [(t.kind, t.text) for t in tokens] == [("symbol", "TC")]
+
+    def test_whitespace_separates_symbols(self):
+        tokens = tokenize("TC TS TR")
+        assert [t.text for t in tokens] == ["TC", "TS", "TR"]
+
+    def test_operators_split_symbols(self):
+        tokens = tokenize("a(b|c)*d")
+        assert [t.text for t in tokens] == ["a", "(", "b", "|", "c", ")", "*", "d"]
+
+    def test_juxtaposed_symbols_stay_joined_without_alphabet(self):
+        tokens = tokenize("TSTR")
+        assert [t.text for t in tokens] == ["TSTR"]
+
+    def test_alphabet_splits_juxtaposed_symbols(self):
+        tokens = tokenize("TSTR", alphabet={"TS", "TR"})
+        assert [t.text for t in tokens] == ["TS", "TR"]
+
+    def test_alphabet_prefers_longest_match(self):
+        # TCH must win over TC followed by a dangling H.
+        tokens = tokenize("TCH", alphabet={"TC", "TCH"})
+        assert [t.text for t in tokens] == ["TCH"]
+
+    def test_paper_re2_with_alphabet(self):
+        text = "TC((TCH)* | TSTR(TCH)*)*(TD$ | TY$)"
+        alphabet = {"TC", "TD", "TS", "TR", "TCH", "TY"}
+        symbols = [t.text for t in tokenize(text, alphabet=alphabet) if t.kind == "symbol"]
+        assert symbols == ["TC", "TCH", "TS", "TR", "TCH", "TD", "TY"]
+
+    def test_unknown_prefix_with_alphabet_raises(self):
+        with pytest.raises(RegexSyntaxError):
+            tokenize("TSXX", alphabet={"TS", "TR"})
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(RegexSyntaxError) as info:
+            tokenize("a & b")
+        assert info.value.position == 2
+
+    def test_dollar_is_an_operator(self):
+        tokens = tokenize("TD$")
+        assert [t.text for t in tokens] == ["TD", "$"]
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            tokenize("a", alphabet=set())
+
+
+class TestParse:
+    def test_single_literal(self):
+        assert parse_regex("a") == Literal("a")
+
+    def test_concatenation(self):
+        assert parse_regex("a b") == Concat(Literal("a"), Literal("b"))
+
+    def test_union_precedence_below_concat(self):
+        node = parse_regex("a b | c")
+        assert isinstance(node, Union)
+        assert node.left == Concat(Literal("a"), Literal("b"))
+        assert node.right == Literal("c")
+
+    def test_star_binds_tightest(self):
+        node = parse_regex("a b*")
+        assert node == Concat(Literal("a"), Star(Literal("b")))
+
+    def test_plus_and_optional(self):
+        assert parse_regex("a+") == Plus(Literal("a"))
+        assert parse_regex("a?") == Optional_(Literal("a"))
+
+    def test_grouping(self):
+        node = parse_regex("(a b)*")
+        assert node == Star(Concat(Literal("a"), Literal("b")))
+
+    def test_stacked_postfix(self):
+        node = parse_regex("a*?")
+        assert node == Optional_(Star(Literal("a")))
+
+    def test_dollar_at_branch_end_is_epsilon_marker(self):
+        node = parse_regex("TD$ | TY$")
+        assert isinstance(node, Union)
+        assert node.left == Literal("TD")
+        assert node.right == Literal("TY")
+
+    def test_dollar_mid_branch_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("a$ b")
+
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("(a b")
+
+    def test_trailing_close_paren(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("a)")
+
+    def test_empty_branch_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("a |")
+
+    def test_empty_input_is_epsilon(self):
+        assert parse_regex("") == Epsilon()
+
+    def test_paper_re2_symbols(self):
+        node = parse_regex("TC ((TCH)* | TS TR (TCH)*)* (TD$ | TY$)")
+        assert node.symbols() == {"TC", "TCH", "TS", "TR", "TD", "TY"}
+
+    def test_lone_dollar_is_epsilon(self):
+        node = parse_regex("a | $")
+        assert isinstance(node, Union)
+        assert node.right == Epsilon()
+
+
+class TestAst:
+    def test_nullable_epsilon_and_star(self):
+        assert Epsilon().nullable()
+        assert Star(Literal("a")).nullable()
+        assert Optional_(Literal("a")).nullable()
+        assert not Literal("a").nullable()
+        assert not Plus(Literal("a")).nullable()
+        assert not Empty().nullable()
+
+    def test_nullable_compound(self):
+        assert not Concat(Star(Literal("a")), Literal("b")).nullable()
+        assert Concat(Star(Literal("a")), Optional_(Literal("b"))).nullable()
+        assert Union(Literal("a"), Epsilon()).nullable()
+
+    def test_literal_must_be_nonempty(self):
+        with pytest.raises(ValueError):
+            Literal("")
+
+    def test_to_string_roundtrips_through_parser(self):
+        source = "TC ((TCH)* | TS TR (TCH)*)* (TD | TY)"
+        node = parse_regex(source)
+        assert parse_regex(node.to_string()) == node
+
+    def test_concat_all_and_union_all(self):
+        assert concat_all([]) == Epsilon()
+        assert union_all([]) == Empty()
+        letters = [Literal(ch) for ch in "abc"]
+        assert concat_all(letters) == Concat(
+            Literal("a"), Concat(Literal("b"), Literal("c"))
+        )
+        assert union_all(letters) == Union(
+            Literal("a"), Union(Literal("b"), Literal("c"))
+        )
+
+    def test_symbols_collects_all(self):
+        node = parse_regex("a (b | c)* d")
+        assert node.symbols() == {"a", "b", "c", "d"}

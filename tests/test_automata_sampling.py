@@ -1,0 +1,150 @@
+"""Tests for pattern sampling (Algorithm 2's walk) and trace learning."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.automata.dfa import nfa_to_dfa
+from repro.automata.learn import TraceCounter, estimate_distribution
+from repro.automata.nfa import regex_to_nfa
+from repro.automata.pfa import pfa_from_regex
+from repro.automata.regex_parser import parse_regex
+from repro.automata.sampling import PatternSampler, sample_pattern
+from repro.errors import SamplingError
+
+
+class TestSampler:
+    def test_deterministic_under_seed(self, fig3_pfa):
+        first = PatternSampler(fig3_pfa, seed=42).sample(6)
+        second = PatternSampler(fig3_pfa, seed=42).sample(6)
+        assert first == second
+
+    def test_different_seeds_differ_somewhere(self, fig3_pfa):
+        samples = {
+            PatternSampler(fig3_pfa, seed=seed).sample(6).symbols
+            for seed in range(20)
+        }
+        assert len(samples) > 1
+
+    def test_walk_stays_in_language_prefixes(self, fig3_pfa):
+        for seed in range(50):
+            sampled = PatternSampler(fig3_pfa, seed=seed).sample(8)
+            assert fig3_pfa.walk_probability(sampled.symbols) > 0.0
+
+    def test_stop_mode_ends_at_absorbing(self, fig3_pfa):
+        for seed in range(30):
+            sampled = PatternSampler(fig3_pfa, seed=seed, on_final="stop").sample(50)
+            # Walks end with b or d (the arcs into the absorbing state).
+            assert sampled.symbols[-1] in {"b", "d"}
+            assert sampled.restarts == 0
+
+    def test_restart_mode_fills_requested_size(self, fig3_pfa):
+        sampled = PatternSampler(fig3_pfa, seed=1, on_final="restart").sample(40)
+        assert len(sampled.symbols) == 40
+        assert sampled.restarts > 0
+
+    def test_log_probability_matches_walk(self, fig3_pfa):
+        sampled = PatternSampler(fig3_pfa, seed=5).sample(10)
+        walk = fig3_pfa.walk_probability(sampled.symbols)
+        assert sampled.log_probability == pytest.approx(math.log(walk))
+
+    def test_states_track_symbols(self, fig3_pfa):
+        sampled = PatternSampler(fig3_pfa, seed=3).sample(10)
+        assert len(sampled.states) == len(sampled.symbols) + 1
+        assert sampled.states[0] == fig3_pfa.start
+
+    def test_empirical_frequencies_match_probabilities(self, fig3_pfa):
+        # First symbol is a with p=0.6, b with p=0.4.
+        counts = Counter(
+            PatternSampler(fig3_pfa, seed=seed).sample(1).symbols[0]
+            for seed in range(2000)
+        )
+        assert counts["a"] / 2000 == pytest.approx(0.6, abs=0.05)
+        assert counts["b"] / 2000 == pytest.approx(0.4, abs=0.05)
+
+    def test_size_validation(self, fig3_pfa):
+        with pytest.raises(SamplingError):
+            PatternSampler(fig3_pfa, seed=0).sample(0)
+
+    def test_bad_mode_rejected(self, fig3_pfa):
+        with pytest.raises(SamplingError):
+            PatternSampler(fig3_pfa, on_final="explode")
+
+    def test_sample_many_counts(self, fig3_pfa):
+        sampler = PatternSampler(fig3_pfa, seed=0)
+        batch = sampler.sample_many(7, 4)
+        assert len(batch) == 7
+
+    def test_sample_to_final_reaches_accept(self, fig3_pfa):
+        sampled = PatternSampler(fig3_pfa, seed=9).sample_to_final()
+        assert fig3_pfa.word_probability(sampled.symbols) > 0.0
+
+    def test_sample_to_final_bounds(self):
+        # a* with a single self-loop never reaches a final absorbing state.
+        pfa = pfa_from_regex("a+ b")
+        # force pathological: remove is not possible; instead use max_size=1
+        sampler = PatternSampler(pfa, seed=0)
+        with pytest.raises(SamplingError):
+            sampler.sample_to_final(max_size=0)
+
+    def test_one_shot_helper(self, fig3_pfa):
+        assert sample_pattern(fig3_pfa, 4, seed=11).symbols
+
+
+class TestLearning:
+    def _dfa(self):
+        return nfa_to_dfa(regex_to_nfa(parse_regex("(a c* d) | b")))
+
+    def test_counts_follow_traces(self):
+        dfa = self._dfa()
+        counter = TraceCounter(dfa)
+        accepted = counter.observe_many(
+            [["a", "d"], ["a", "c", "d"], ["b"], ["a", "d"]]
+        )
+        assert accepted == 4
+        assert counter.counts[(dfa.start, "a")] == 3
+        assert counter.counts[(dfa.start, "b")] == 1
+
+    def test_rejected_traces_counted(self):
+        dfa = self._dfa()
+        counter = TraceCounter(dfa)
+        assert not counter.observe(["d"])
+        assert counter.rejected == 1
+
+    def test_estimated_distribution_is_stochastic(self):
+        dfa = self._dfa()
+        dist = estimate_distribution(
+            dfa, [["a", "d"], ["a", "c", "d"], ["b"]], smoothing=1.0
+        )
+        for state, arcs in dfa.transitions.items():
+            total = sum(dist.get(state, symbol) for symbol in arcs)
+            assert total == pytest.approx(1.0)
+
+    def test_smoothing_keeps_unseen_transitions_alive(self):
+        dfa = self._dfa()
+        dist = estimate_distribution(dfa, [["b"]] * 10, smoothing=1.0)
+        assert dist.get(dfa.start, "a") > 0.0
+
+    def test_zero_smoothing_reflects_counts_exactly(self):
+        dfa = self._dfa()
+        dist = estimate_distribution(
+            dfa, [["a", "d"], ["a", "d"], ["b"], ["b"]], smoothing=0.0
+        )
+        assert dist.get(dfa.start, "a") == pytest.approx(0.5)
+
+    def test_learned_distribution_usable_for_building(self):
+        from repro.automata.pfa import build_pfa
+
+        dfa = self._dfa()
+        dist = estimate_distribution(dfa, [["a", "c", "d"], ["b"]])
+        pfa = build_pfa(dfa, dist)
+        assert pfa.accepts_word(("b",))
+
+    def test_negative_smoothing_rejected(self):
+        dfa = self._dfa()
+        counter = TraceCounter(dfa)
+        with pytest.raises(Exception):
+            counter.to_distribution(smoothing=-1.0)

@@ -1,0 +1,121 @@
+"""Tests for convergence analysis and protocol/robustness fuzzing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.convergence import (
+    align_states,
+    measure_convergence,
+    pfa_rows,
+    row_kl_divergence,
+)
+from repro.bridge.protocol import decode_request, decode_result, CommandFrame
+from repro.errors import BridgeError, DistributionError
+from repro.ptest.generator import PatternGenerator
+from repro.ptest.merger import MERGE_OPS, PatternMerger
+from repro.ptest.pcore_model import (
+    PCORE_REGULAR_EXPRESSION,
+    PCORE_SERVICES,
+    pcore_pfa,
+)
+
+
+class TestKLDivergence:
+    def test_identical_rows_zero(self):
+        row = {"a": 0.6, "b": 0.4}
+        assert row_kl_divergence(row, dict(row)) == pytest.approx(0.0)
+
+    def test_divergence_positive_for_different_rows(self):
+        true = {"a": 0.9, "b": 0.1}
+        learned = {"a": 0.5, "b": 0.5}
+        assert row_kl_divergence(true, learned) > 0.1
+
+    def test_zero_mass_on_used_transition_rejected(self):
+        with pytest.raises(DistributionError):
+            row_kl_divergence({"a": 1.0}, {"a": 0.0})
+
+    def test_empty_row(self):
+        assert row_kl_divergence({}, {}) == 0.0
+
+
+class TestAlignment:
+    def _generator(self):
+        return PatternGenerator(
+            regex=PCORE_REGULAR_EXPRESSION, alphabet=PCORE_SERVICES, seed=0
+        )
+
+    def test_alignment_covers_reachable_states(self):
+        generator = self._generator()
+        mapping = align_states(generator.dfa, pcore_pfa())
+        assert generator.dfa.start in mapping
+        assert mapping[generator.dfa.start] == pcore_pfa().start
+
+    def test_alignment_respects_transitions(self):
+        generator = self._generator()
+        pfa = pcore_pfa()
+        mapping = align_states(generator.dfa, pfa)
+        for dfa_state, pfa_state in mapping.items():
+            for symbol, dfa_target in generator.dfa.outgoing(dfa_state).items():
+                pfa_arc = pfa.step(pfa_state, symbol)
+                assert pfa_arc is not None
+                assert mapping[dfa_target] == pfa_arc.target
+
+    def test_convergence_decreases_with_budget(self):
+        generator = self._generator()
+        pfa = pcore_pfa()
+        mapping = align_states(generator.dfa, pfa)
+        points = measure_convergence(
+            pfa, generator.dfa, mapping, [20, 2000], seed=5
+        )
+        assert points[-1].mean_kl < points[0].mean_kl
+
+    def test_pfa_rows_skips_absorbing(self):
+        rows = pfa_rows(pcore_pfa())
+        assert len(rows) == 5  # start, TC, TCH, TS, TR (not TD/TY)
+        for row in rows.values():
+            assert sum(row.values()) == pytest.approx(1.0)
+
+
+class TestProtocolFuzz:
+    @given(word=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=300, deadline=None)
+    def test_decode_request_never_crashes_unexpectedly(self, word):
+        """Arbitrary words either decode cleanly or raise BridgeError —
+        never anything else (robust front line against a corrupt
+        mailbox)."""
+        frame = CommandFrame(
+            sequence=(word >> 18) & 0x3FF, program=None, issuer=None
+        )
+        try:
+            request = decode_request(word, frame)
+        except BridgeError:
+            return
+        assert request.service is not None
+
+    @given(word=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=300, deadline=None)
+    def test_decode_result_never_crashes_unexpectedly(self, word):
+        try:
+            status, sequence, value = decode_result(word)
+        except BridgeError:
+            return
+        assert 0 <= sequence < 4096
+        assert value is None or value >= 0
+
+
+@given(
+    op=st.sampled_from(sorted(MERGE_OPS)),
+    count=st.integers(min_value=1, max_value=6),
+    size=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=1_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_generated_batches_merge_under_every_op(op, count, size, seed):
+    """Integration property: real PFA batches survive every merge op and
+    the merged pattern is always a valid interleaving."""
+    generator = PatternGenerator.from_pfa(pcore_pfa(), seed=seed)
+    patterns = generator.generate_batch(count, size)
+    merged = PatternMerger(op=op, seed=seed, chunk=2).merge(patterns)
+    assert len(merged) == sum(len(p) for p in patterns)

@@ -1,0 +1,69 @@
+"""Integration: every example script runs to completion and says what
+it promises.  Examples are the public face of the library; a refactor
+that breaks them must fail CI."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 300) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    output = run_example("quickstart.py")
+    assert "pTest quickstart" in output
+    assert "generated patterns" in output
+    assert "no anomalies" in output or "bug report" in output
+
+
+def test_fig1_walkthrough():
+    output = run_example("fig1_walkthrough.py")
+    assert "resume order: 'good'" in output
+    assert "terminated: True" in output
+    assert "unreachable states" in output
+    assert "starvation" in output
+
+
+def test_distribution_tuning():
+    output = run_example("distribution_tuning.py")
+    assert "paper (Fig. 5)" in output
+    assert "uniform" in output
+    assert "1000 traces" in output
+
+
+@pytest.mark.slow
+def test_stress_pcore():
+    output = run_example("stress_pcore.py", "1")
+    assert "crash" in output
+    assert "no crash: the garbage collector reclaimed every task" in output
+
+
+@pytest.mark.slow
+def test_deadlock_hunt():
+    output = run_example("deadlock_hunt.py")
+    assert "cyclic" in output
+    assert "CLEAN" in output
+    assert "CP0" in output  # state records printed
+
+
+@pytest.mark.slow
+def test_baseline_comparison():
+    output = run_example("baseline_comparison.py")
+    assert "pTest (adaptive, cyclic)" in output
+    assert "ConTest-style random" in output
+    assert "CHESS-lite systematic" in output

@@ -1,0 +1,252 @@
+"""Tests for the extension features: IPC queues, pipeline workload,
+context-switch cost, priority inheritance, shrinking, campaigns, CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KernelError, ReproError
+from repro.pcore.ipc import KMessageQueue
+from repro.pcore.kernel import KernelConfig, PCoreKernel
+from repro.pcore.programs import Compute, Exit, QRecv, QSend
+from repro.pcore.services import ServiceCode
+from repro.pcore.tcb import TaskState
+from repro.sim.memory import SharedMemory
+
+from conftest import create_task, run_service
+
+
+def fresh_kernel(**config_kwargs) -> PCoreKernel:
+    return PCoreKernel(
+        config=KernelConfig(**config_kwargs),
+        shared_memory=SharedMemory(size=16 * 1024),
+    )
+
+
+def run_steps(kernel, count, start=0):
+    for tick in range(start, start + count):
+        kernel.step(tick)
+    return start + count
+
+
+class TestKMessageQueue:
+    def test_fifo(self):
+        queue = KMessageQueue(name="q", capacity=2)
+        assert queue.try_send(1, 10)
+        assert queue.try_send(1, 20)
+        assert queue.try_recv(2) == (True, 10)
+        assert queue.try_recv(2) == (True, 20)
+
+    def test_full_parks_sender(self):
+        queue = KMessageQueue(name="q", capacity=1)
+        queue.try_send(1, 10)
+        assert not queue.try_send(2, 20)
+        assert queue.send_waiters == [2]
+        assert queue.pop_send_waiter() == 2
+
+    def test_empty_parks_receiver(self):
+        queue = KMessageQueue(name="q")
+        delivered, value = queue.try_recv(3)
+        assert not delivered and value is None
+        assert queue.recv_waiters == [3]
+
+    def test_drop_waiter(self):
+        queue = KMessageQueue(name="q", capacity=1)
+        queue.try_send(1, 10)
+        queue.try_send(2, 20)
+        queue.try_recv(3)  # succeeds; no park
+        queue.drop_waiter(2)
+        assert queue.send_waiters == []
+
+    def test_capacity_validation(self):
+        with pytest.raises(KernelError):
+            KMessageQueue(name="q", capacity=0)
+
+
+class TestQueueSyscalls:
+    def test_send_recv_roundtrip(self):
+        kernel = fresh_kernel()
+        received = []
+
+        def sender(ctx):
+            yield QSend("chan", 41)
+            yield QSend("chan", 42)
+            yield Exit(0)
+
+        def receiver(ctx):
+            first = yield QRecv("chan")
+            second = yield QRecv("chan")
+            received.extend([first, second])
+            yield Exit(0)
+
+        kernel.register_program("sender", sender)
+        kernel.register_program("receiver", receiver)
+        create_task(kernel, priority=2, program="sender")
+        create_task(kernel, priority=1, program="receiver")
+        run_steps(kernel, 40)
+        assert received == [41, 42]
+        assert not kernel.tasks
+
+    def test_receiver_blocks_until_data(self):
+        kernel = fresh_kernel()
+
+        def receiver(ctx):
+            yield QRecv("chan")
+            yield Exit(0)
+
+        kernel.register_program("receiver", receiver)
+        tid = create_task(kernel, priority=1, program="receiver").value
+        run_steps(kernel, 5)
+        assert kernel.tasks[tid].state is TaskState.BLOCKED
+        assert kernel.tasks[tid].waiting_on == "q:chan"
+
+    def test_sender_blocks_on_full_queue(self):
+        kernel = fresh_kernel()
+        kernel.add_message_queue("chan", capacity=1)
+
+        def sender(ctx):
+            yield QSend("chan", 1)
+            yield QSend("chan", 2)
+            yield Exit(0)
+
+        kernel.register_program("sender", sender)
+        tid = create_task(kernel, priority=1, program="sender").value
+        run_steps(kernel, 6)
+        assert kernel.tasks[tid].state is TaskState.BLOCKED
+
+    def test_suspend_resume_of_queue_blocked_receiver(self):
+        kernel = fresh_kernel()
+
+        def receiver(ctx):
+            value = yield QRecv("chan")
+            yield Exit(value)
+
+        kernel.register_program("receiver", receiver)
+        tid = create_task(kernel, priority=1, program="receiver").value
+        tick = run_steps(kernel, 4)
+        assert kernel.tasks[tid].state is TaskState.BLOCKED
+        run_service(kernel, ServiceCode.TS, target=tid)
+        assert kernel.tasks[tid].state is TaskState.SUSPENDED
+        # Resume with still-empty queue: re-blocks.
+        run_service(kernel, ServiceCode.TR, target=tid)
+        assert kernel.tasks[tid].state is TaskState.BLOCKED
+        # Feed the queue; the parked receiver completes and exits.
+        kernel._queue("chan").try_send(99, 7)
+        kernel._wake_queue_receiver(kernel._queue("chan"))
+        run_steps(kernel, 6, start=tick)
+        assert tid not in kernel.tasks
+
+    def test_deleting_queue_blocked_task_cleans_waiters(self):
+        kernel = fresh_kernel()
+
+        def receiver(ctx):
+            yield QRecv("chan")
+
+        kernel.register_program("receiver", receiver)
+        tid = create_task(kernel, priority=1, program="receiver").value
+        run_steps(kernel, 4)
+        run_service(kernel, ServiceCode.TD, target=tid)
+        assert kernel._queue("chan").recv_waiters == []
+
+
+class TestPipelineWorkload:
+    def test_pipeline_delivers_and_verifies(self):
+        from repro.workloads.pipeline import (
+            build_pipeline,
+            run_pipeline_to_completion,
+        )
+
+        kernel = fresh_kernel()
+        build_pipeline(kernel, stages=2, count=12, queue_capacity=2)
+        ticks = run_pipeline_to_completion(kernel)
+        assert ticks > 0
+        assert not kernel.is_halted()
+
+    def test_pipeline_parameter_validation(self):
+        from repro.workloads.pipeline import build_pipeline, make_source_program
+
+        with pytest.raises(ReproError):
+            make_source_program(0)
+        with pytest.raises(ReproError):
+            build_pipeline(fresh_kernel(), stages=0)
+
+
+class TestContextSwitchCost:
+    def _pipeline_ticks(self, cost: int) -> int:
+        from repro.workloads.pipeline import (
+            build_pipeline,
+            run_pipeline_to_completion,
+        )
+
+        kernel = fresh_kernel(context_switch_cost=cost)
+        build_pipeline(kernel, stages=2, count=16)
+        return run_pipeline_to_completion(kernel)
+
+    def test_cost_slows_pipeline_monotonically(self):
+        free = self._pipeline_ticks(0)
+        cheap = self._pipeline_ticks(2)
+        dear = self._pipeline_ticks(8)
+        assert free < cheap < dear
+
+    def test_switch_counter(self):
+        kernel = fresh_kernel()
+        create_task(kernel, priority=1)
+        create_task(kernel, priority=2)
+        # Each idle task runs ~50 steps; priority 2 first, then 1.
+        run_steps(kernel, 150)
+        assert kernel.context_switches == 2
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(KernelError):
+            KernelConfig(context_switch_cost=-1)
+
+
+class TestPriorityInheritance:
+    def test_inversion_latency_improves(self):
+        from repro.workloads.scenarios import (
+            high_task_completion_tick,
+            priority_inversion_scenario,
+        )
+
+        without = priority_inversion_scenario(seed=0, inheritance=False)
+        without_result = without.run()
+        with_pi = priority_inversion_scenario(seed=0, inheritance=True)
+        with_result = with_pi.run()
+        assert not without_result.found_bug and not with_result.found_bug
+        slow = high_task_completion_tick(without)
+        fast = high_task_completion_tick(with_pi)
+        assert slow is not None and fast is not None
+        assert fast * 5 < slow  # at least 5x better under inheritance
+
+    def test_boost_is_restored_after_release(self):
+        from repro.pcore.programs import Acquire, Release, Sleep
+
+        kernel = fresh_kernel(priority_inheritance=True)
+
+        def owner(ctx):
+            yield Acquire("m")
+            yield Compute(20)
+            yield Release("m")
+            yield Compute(50)
+            yield Exit(0)
+
+        def waiter(ctx):
+            yield Sleep(4)
+            yield Acquire("m")
+            yield Release("m")
+            yield Exit(0)
+
+        kernel.register_program("owner", owner)
+        kernel.register_program("waiter", waiter)
+        low = create_task(kernel, priority=1, program="owner").value
+        create_task(kernel, priority=9, program="waiter")
+        boosted_seen = False
+        for tick in range(80):
+            kernel.step(tick)
+            task = kernel.tasks.get(low)
+            if task is not None and task.priority == 9:
+                boosted_seen = True
+        assert boosted_seen
+        task = kernel.tasks.get(low)
+        if task is not None:
+            assert task.priority == 1  # restored after release

@@ -1,0 +1,106 @@
+"""Tests for harness/committer operating modes and platform knobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.ptest.config import PTestConfig
+from repro.ptest.harness import run_adaptive_test
+from repro.workloads.scenarios import stress_case1
+
+
+class TestFireAndForget:
+    def test_completes_and_drains(self):
+        config = PTestConfig(
+            pattern_count=4,
+            pattern_size=6,
+            seed=5,
+            max_ticks=20_000,
+            lockstep=False,
+        )
+        result = run_adaptive_test(config)
+        assert result.commands_issued == result.merged_length
+        assert result.commands_completed == result.commands_issued
+        assert result.ticks < 20_000  # finished before the budget
+
+    def test_faster_master_finishes_sooner_or_equal(self):
+        base = PTestConfig(
+            pattern_count=4, pattern_size=6, seed=5, max_ticks=20_000,
+            lockstep=False,
+        )
+        fast = PTestConfig(
+            pattern_count=4, pattern_size=6, seed=5, max_ticks=20_000,
+            lockstep=False, master_steps_per_tick=4,
+        )
+        assert run_adaptive_test(fast).ticks <= run_adaptive_test(base).ticks
+
+    def test_small_mailbox_causes_stalls_with_fast_master(self):
+        config = PTestConfig(
+            pattern_count=8,
+            pattern_size=8,
+            seed=5,
+            max_ticks=20_000,
+            lockstep=False,
+            master_steps_per_tick=4,
+            mailbox_capacity=1,
+        )
+        result = run_adaptive_test(config)
+        assert result.command_stalls > 0
+
+    def test_lockstep_never_stalls_at_default_depth(self):
+        config = PTestConfig(
+            pattern_count=4, pattern_size=6, seed=5, max_ticks=20_000
+        )
+        result = run_adaptive_test(config)
+        assert result.command_stalls == 0
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"pattern_count": 0},
+            {"pattern_size": 0},
+            {"op": "bogus"},
+            {"max_ticks": 0},
+            {"reply_timeout": 0},
+            {"progress_window": 0},
+            {"detector_interval": 0},
+            {"noise_ticks": -1},
+            {"mailbox_capacity": 0},
+            {"master_steps_per_tick": 0},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            PTestConfig(**kwargs)
+
+    def test_with_seed_copies(self):
+        config = PTestConfig(seed=1)
+        other = config.with_seed(2)
+        assert other.seed == 2
+        assert other.pattern_count == config.pattern_count
+        assert config.seed == 1  # original untouched
+
+    def test_describe_mentions_key_fields(self):
+        text = PTestConfig(pattern_count=5, op="cyclic", seed=9).describe()
+        assert "n=5" in text and "op=cyclic" in text and "seed=9" in text
+
+
+class TestStressConfigVariants:
+    def test_smaller_memory_crashes_faster(self):
+        small = stress_case1(seed=0, memory_bytes=16 * 1024).run()
+        large = stress_case1(seed=0, memory_bytes=48 * 1024).run()
+        assert small.found_bug and large.found_bug
+        assert (
+            small.report.primary.detected_at
+            < large.report.primary.detected_at
+        )
+
+    def test_service_mix_reflects_paper_distribution(self):
+        result = stress_case1(seed=0, max_ticks=5_000, buggy_gc=False).run()
+        counts = result.service_counts
+        # TCH dominates (0.6 out of TC and 0.6 self-loop in Fig. 5).
+        assert counts.get("TCH", 0) > counts.get("TS", 0)
+        assert counts.get("TC", 0) >= 16

@@ -1,0 +1,129 @@
+"""Tests for the HMM module and the PFA embedding."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.automata.hmm import HMM, hmm_from_pfa
+from repro.errors import DistributionError
+from repro.ptest.pcore_model import pcore_pfa
+
+
+def coin_hmm() -> HMM:
+    """Two hidden coins: fair and biased, sticky transitions."""
+    return HMM(
+        transition=np.array([[0.9, 0.1], [0.2, 0.8]]),
+        emission=np.array([[0.5, 0.5], [0.9, 0.1]]),
+        initial=np.array([1.0, 0.0]),
+        symbols=("H", "T"),
+    )
+
+
+class TestHMMBasics:
+    def test_row_validation(self):
+        with pytest.raises(DistributionError):
+            HMM(
+                transition=np.array([[0.5, 0.4], [0.5, 0.5]]),  # bad row
+                emission=np.array([[1.0], [1.0]]),
+                initial=np.array([1.0, 0.0]),
+                symbols=("x",),
+            )
+
+    def test_forward_empty_sequence(self):
+        assert coin_hmm().forward([]) == 1.0
+
+    def test_forward_single_symbol(self):
+        # Starts in the fair coin: P(H) = 0.5.
+        assert coin_hmm().forward(["H"]) == pytest.approx(0.5)
+
+    def test_forward_total_probability_over_length_n(self):
+        hmm = coin_hmm()
+        for length in (1, 2, 3):
+            total = 0.0
+            from itertools import product
+
+            for word in product("HT", repeat=length):
+                total += hmm.forward(list(word))
+            assert total == pytest.approx(1.0)
+
+    def test_log_forward_matches_forward(self):
+        hmm = coin_hmm()
+        word = ["H", "T", "H", "H", "T"]
+        assert hmm.log_forward(word) == pytest.approx(
+            math.log(hmm.forward(word))
+        )
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(DistributionError):
+            coin_hmm().forward(["X"])
+
+    def test_viterbi_prefers_biased_coin_for_head_runs(self):
+        path, log_prob = coin_hmm().viterbi(["H"] * 10)
+        assert log_prob < 0
+        # A long head run is best explained by switching to the biased coin.
+        assert path[-1] == 1
+
+    def test_viterbi_empty(self):
+        assert coin_hmm().viterbi([]) == ([], 0.0)
+
+    def test_sampling_is_seeded(self):
+        hmm = coin_hmm()
+        assert hmm.sample(20, seed=4) == hmm.sample(20, seed=4)
+
+    def test_sample_statistics_roughly_match(self):
+        hmm = coin_hmm()
+        draws = [hmm.sample(1, seed=seed)[0] for seed in range(2000)]
+        heads = draws.count("H") / len(draws)
+        assert heads == pytest.approx(0.5, abs=0.05)  # starts in fair coin
+
+
+class TestPFAEmbedding:
+    def test_embedding_shapes(self):
+        hmm = hmm_from_pfa(pcore_pfa())
+        # 14 arcs + 1 sink state.
+        assert hmm.num_states == 15
+        assert "$" in hmm.symbols
+
+    def test_likelihood_matches_pfa_walk_probability(self):
+        pfa = pcore_pfa()
+        hmm = hmm_from_pfa(pfa)
+        for word in (
+            ["TC", "TD"],
+            ["TC", "TY"],
+            ["TC", "TCH", "TCH", "TD"],
+            ["TC", "TS", "TR", "TY"],
+        ):
+            assert hmm.forward(word) == pytest.approx(
+                pfa.walk_probability(tuple(word))
+            )
+
+    def test_illegal_words_have_zero_likelihood(self):
+        hmm = hmm_from_pfa(pcore_pfa())
+        assert hmm.forward(["TD"]) == pytest.approx(0.0)
+        assert hmm.forward(["TC", "TR"]) == pytest.approx(0.0)
+
+    def test_viterbi_decodes_lifecycle_position(self):
+        """Viterbi over the embedded HMM identifies which PFA arc each
+        observed service came from — a trace-diagnosis use case."""
+        pfa = pcore_pfa()
+        hmm = hmm_from_pfa(pfa)
+        path, log_prob = hmm.viterbi(["TC", "TS", "TR", "TD"])
+        assert len(path) == 4
+        assert math.isfinite(log_prob)
+        # The first decoded state must be an arc emitting TC.
+        assert hmm.emission[path[0]].argmax() == hmm.symbols.index("TC")
+
+    def test_sampled_sequences_walk_the_pfa(self):
+        pfa = pcore_pfa()
+        hmm = hmm_from_pfa(pfa)
+        for seed in range(20):
+            word = hmm.sample(6, seed=seed)
+            trimmed = []
+            for symbol in word:
+                if symbol == "$":
+                    break
+                trimmed.append(symbol)
+            assert pfa.walk_probability(tuple(trimmed)) > 0.0

@@ -1,0 +1,148 @@
+"""Stateful testing of sync objects under random suspend/resume.
+
+Tasks running lock-heavy programs are randomly suspended, resumed and
+deleted while the kernel steps — the exact chaos pTest's merged
+patterns produce.  Invariants: mutex ownership is always coherent, no
+task is ever both owner and waiter, queue/resource wait lists only hold
+BLOCKED tasks, and the system as a whole never corrupts kernel memory
+accounting or panics (the correct-GC kernel must survive anything the
+remote interface throws at it).
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.pcore.kernel import KernelConfig, PCoreKernel
+from repro.pcore.programs import Acquire, Compute, Exit, Release, YieldCpu
+from repro.pcore.services import ServiceCode, ServiceRequest
+from repro.pcore.tcb import TaskState
+from repro.sim.memory import SharedMemory
+
+LOCKS = ("lock_a", "lock_b")
+
+
+def locker_program(first: str, second: str, rounds: int):
+    def program(ctx):
+        del ctx
+        for _ in range(rounds):
+            yield Acquire(first)
+            yield Compute(2)
+            yield Acquire(second)
+            yield Compute(1)
+            yield Release(second)
+            yield Release(first)
+            yield YieldCpu()
+        yield Exit(0)
+
+    return program
+
+
+class LockChaosMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.kernel = PCoreKernel(
+            config=KernelConfig(max_tasks=6, gc_interval=4),
+            shared_memory=SharedMemory(size=8 * 1024),
+        )
+        # Ordered acquisition (a before b): deadlock-free by design, so
+        # any wedge an invariant sees is a kernel bug, not a workload one.
+        self.kernel.register_program(
+            "locker", locker_program("lock_a", "lock_b", rounds=3)
+        )
+        self.tick = 0
+        self._next_priority = 1
+
+    @rule()
+    def create_locker(self) -> None:
+        self.kernel.execute_service(
+            ServiceRequest(
+                service=ServiceCode.TC,
+                priority=self._next_priority,
+                program="locker",
+            )
+        )
+        self._next_priority += 1
+
+    @rule(tid=st.integers(min_value=0, max_value=8))
+    def suspend(self, tid: int) -> None:
+        self.kernel.execute_service(
+            ServiceRequest(service=ServiceCode.TS, target=tid)
+        )
+
+    @rule(tid=st.integers(min_value=0, max_value=8))
+    def resume(self, tid: int) -> None:
+        self.kernel.execute_service(
+            ServiceRequest(service=ServiceCode.TR, target=tid)
+        )
+
+    @rule(tid=st.integers(min_value=0, max_value=8))
+    def delete(self, tid: int) -> None:
+        self.kernel.execute_service(
+            ServiceRequest(service=ServiceCode.TD, target=tid)
+        )
+
+    @rule(steps=st.integers(min_value=1, max_value=25))
+    def run_kernel(self, steps: int) -> None:
+        for _ in range(steps):
+            self.kernel.step(self.tick)
+            self.tick += 1
+
+    # -- invariants -------------------------------------------------------
+
+    @invariant()
+    def never_panics(self) -> None:
+        assert not self.kernel.is_halted(), self.kernel.panic_reason
+
+    @invariant()
+    def ownership_coherent(self) -> None:
+        for resource in self.kernel.resources.values():
+            owner = getattr(resource, "owner", None)
+            if owner is not None:
+                assert owner in self.kernel.tasks, (
+                    f"{resource.name} owned by dead task {owner}"
+                )
+                assert owner not in resource.waiters
+            for waiter in resource.waiters:
+                task = self.kernel.tasks.get(waiter)
+                assert task is not None
+                assert task.state is TaskState.BLOCKED
+                assert task.waiting_on == resource.name
+
+    @invariant()
+    def blocked_tasks_wait_on_something_real(self) -> None:
+        for task in self.kernel.tasks.values():
+            if task.state is TaskState.BLOCKED and not task.suspended_while_blocked:
+                assert task.waiting_on is not None
+                if not task.waiting_on.startswith("q:"):
+                    resource = self.kernel.resources.get(task.waiting_on)
+                    assert resource is not None
+                    in_waiters = task.tid in resource.waiters
+                    is_owner = getattr(resource, "owner", None) == task.tid
+                    # A blocked task is queued, unless it was just
+                    # promoted to owner and will wake next step.
+                    assert in_waiters or is_owner, task.describe()
+
+    @invariant()
+    def memory_never_negative(self) -> None:
+        assert self.kernel.memory.allocated_bytes >= 0
+        assert self.kernel.memory.free_bytes >= 0
+
+    def teardown(self) -> None:
+        for tid in list(self.kernel.tasks):
+            self.kernel.execute_service(
+                ServiceRequest(service=ServiceCode.TD, target=tid)
+            )
+        self.kernel.gc.collect()
+        assert self.kernel.memory.allocated_bytes == 0
+        for resource in self.kernel.resources.values():
+            assert getattr(resource, "owner", None) is None
+            assert resource.waiters == []
+
+
+LockChaosMachine.TestCase.settings = settings(
+    max_examples=50, stateful_step_count=50, deadline=None
+)
+TestLockChaos = LockChaosMachine.TestCase

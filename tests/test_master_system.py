@@ -1,0 +1,161 @@
+"""Tests for the master-side thread system and time-sharing scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bridge.bridge import build_bridge
+from repro.errors import SimulationError
+from repro.master.scheduler import TimeSharingScheduler
+from repro.master.system import MasterSystem
+from repro.master.thread import (
+    Delay,
+    Done,
+    IssueService,
+    MasterThread,
+    ThreadState,
+    WaitReply,
+    WriteShared,
+    ReadShared,
+)
+from repro.pcore.kernel import KernelConfig, PCoreKernel
+from repro.pcore.services import ServiceCode, ServiceRequest
+from repro.sim.mailbox import MailboxBank
+from repro.sim.memory import SharedMemory
+
+
+def build_world():
+    bank = MailboxBank.omap5912()
+    kernel = PCoreKernel(config=KernelConfig(), shared_memory=SharedMemory(4096))
+    bridge_master, slave = build_bridge(bank, kernel)
+    master = MasterSystem(bridge=bridge_master, shared_memory=kernel.shared_memory)
+    return master, slave, kernel
+
+
+def run_world(master, slave, ticks):
+    for tick in range(ticks):
+        master.step(tick)
+        slave.step(tick)
+
+
+class TestMasterThreads:
+    def test_issue_and_wait_reply(self):
+        master, slave, kernel = build_world()
+        observed = {}
+
+        def program(thread):
+            yield IssueService(ServiceRequest(service=ServiceCode.TC, priority=4))
+            result = yield WaitReply()
+            observed["result"] = result
+
+        master.add_thread(MasterThread(mtid=1, name="t1", program_factory=program))
+        run_world(master, slave, 12)
+        assert observed["result"].ok
+        assert len(kernel.tasks) == 1
+        assert master.is_halted()  # all threads done
+
+    def test_wait_without_issue_is_error(self):
+        master, slave, _ = build_world()
+
+        def program(thread):
+            yield WaitReply()
+
+        master.add_thread(MasterThread(mtid=1, name="t1", program_factory=program))
+        with pytest.raises(SimulationError):
+            run_world(master, slave, 3)
+
+    def test_delay_consumes_steps(self):
+        master, slave, _ = build_world()
+        trace = []
+
+        def program(thread):
+            trace.append(("start", master.now))
+            yield Delay(5)
+            trace.append(("end", master.now))
+            yield Done()
+
+        master.add_thread(MasterThread(mtid=1, name="t1", program_factory=program))
+        run_world(master, slave, 10)
+        start = trace[0][1]
+        end = trace[1][1]
+        assert end - start >= 5
+
+    def test_shared_memory_ops(self):
+        master, slave, kernel = build_world()
+        seen = {}
+
+        def program(thread):
+            yield WriteShared(0x40, 777)
+            value = yield ReadShared(0x40)
+            seen["value"] = value
+
+        master.add_thread(MasterThread(mtid=1, name="t1", program_factory=program))
+        run_world(master, slave, 6)
+        assert seen["value"] == 777
+        assert kernel.shared_memory.read_u16(0x40) == 777
+
+    def test_round_robin_interleaves_threads(self):
+        master, slave, _ = build_world()
+        order = []
+
+        def make(name):
+            def program(thread):
+                for _ in range(4):
+                    order.append(name)
+                    yield Delay(1)
+
+            return program
+
+        master.scheduler = TimeSharingScheduler(quantum=1)
+        master.add_thread(MasterThread(mtid=1, name="a", program_factory=make("a")))
+        master.add_thread(MasterThread(mtid=2, name="b", program_factory=make("b")))
+        run_world(master, slave, 30)
+        # With quantum 1 the two threads alternate.
+        assert order[:4] == ["a", "b", "a", "b"]
+
+    def test_quantum_groups_steps(self):
+        master, slave, _ = build_world()
+        order = []
+
+        def make(name):
+            def program(thread):
+                for _ in range(4):
+                    order.append(name)
+                    yield Delay(1)
+
+            return program
+
+        master.scheduler = TimeSharingScheduler(quantum=4)
+        master.add_thread(MasterThread(mtid=1, name="a", program_factory=make("a")))
+        master.add_thread(MasterThread(mtid=2, name="b", program_factory=make("b")))
+        run_world(master, slave, 40)
+        assert order[:2] == ["a", "a"]
+
+    def test_stalled_thread_retries_when_mailbox_full(self):
+        master, slave, kernel = build_world()
+        # Saturate the command mailbox first.
+        filler_count = 0
+        while master.bridge.issue(ServiceRequest(service=ServiceCode.TY)) is not None:
+            filler_count += 1
+
+        def program(thread):
+            yield IssueService(ServiceRequest(service=ServiceCode.TC, priority=1))
+            yield WaitReply()
+
+        thread = MasterThread(mtid=1, name="t1", program_factory=program)
+        master.add_thread(thread)
+        master.step(0)  # issue fails -> stalled
+        assert thread.state is ThreadState.STALLED
+        run_world(master, slave, 20)
+        assert len(kernel.tasks) == 1  # eventually issued and created
+
+    def test_all_done_detection(self):
+        scheduler = TimeSharingScheduler()
+        thread = MasterThread(mtid=1, name="x", program_factory=lambda t: iter(()))
+        thread.state = ThreadState.DONE
+        scheduler.add(thread)
+        assert scheduler.all_done()
+
+    def test_quantum_validation(self):
+        with pytest.raises(SimulationError):
+            TimeSharingScheduler(quantum=0)

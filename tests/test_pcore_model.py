@@ -1,0 +1,140 @@
+"""Tests for the pCore PFA of Fig. 5 and RE (2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.analysis import expected_pattern_length
+from repro.automata.sampling import PatternSampler
+from repro.ptest.generator import PatternGenerator
+from repro.ptest.pcore_model import (
+    PCORE_EDGES,
+    PCORE_REGULAR_EXPRESSION,
+    PCORE_SERVICES,
+    pcore_distribution,
+    pcore_pfa,
+    reweighted_pcore_pfa,
+    uniform_pcore_pfa,
+)
+
+
+class TestFig5Structure:
+    def test_seven_states(self):
+        assert pcore_pfa().num_states == 7
+
+    def test_fourteen_edges_thirteen_labelled(self):
+        # 13 labelled edges a..m plus the initial start->TC arc.
+        assert len(PCORE_EDGES) == 14
+
+    def test_rows_are_stochastic(self):
+        pfa = pcore_pfa()
+        pfa.validate()  # Eq. (1) holds by construction
+
+    def test_paper_probability_values(self):
+        pfa = pcore_pfa()
+        by_label = {pfa.label(s): s for s in range(pfa.num_states)}
+        tc = by_label["TC"]
+        row = {t.symbol: t.probability for t in pfa.outgoing(tc)}
+        assert row == {
+            "TCH": pytest.approx(0.6),
+            "TS": pytest.approx(0.1),
+            "TY": pytest.approx(0.1),
+            "TD": pytest.approx(0.2),
+        }
+        tr = by_label["TR"]
+        row = {t.symbol: t.probability for t in pfa.outgoing(tr)}
+        assert row == {
+            "TS": pytest.approx(0.1),
+            "TCH": pytest.approx(0.4),
+            "TD": pytest.approx(0.3),
+            "TY": pytest.approx(0.2),
+        }
+
+    def test_ts_always_goes_to_tr(self):
+        pfa = pcore_pfa()
+        by_label = {pfa.label(s): s for s in range(pfa.num_states)}
+        arcs = pfa.outgoing(by_label["TS"])
+        assert len(arcs) == 1
+        assert arcs[0].symbol == "TR"
+        assert arcs[0].probability == 1.0
+
+    def test_td_ty_are_absorbing_finals(self):
+        pfa = pcore_pfa()
+        by_label = {pfa.label(s): s for s in range(pfa.num_states)}
+        for label in ("TD", "TY"):
+            assert pfa.is_final(by_label[label])
+            assert pfa.is_absorbing(by_label[label])
+
+
+class TestLanguageEquivalence:
+    def test_every_fig5_walk_matches_re2(self):
+        """The hand-built PFA's samples are exactly RE (2) words."""
+        generator = PatternGenerator(
+            regex=PCORE_REGULAR_EXPRESSION, alphabet=PCORE_SERVICES, seed=0
+        )
+        sampler = PatternSampler(pcore_pfa(), seed=123)
+        for _ in range(300):
+            walk = sampler.sample_to_final()
+            assert generator.dfa.accepts_word(list(walk.symbols)), walk.symbols
+
+    def test_every_re2_sample_walks_fig5(self):
+        """And vice versa: RE (2) samples walk the Fig. 5 automaton."""
+        generator = PatternGenerator(
+            regex=PCORE_REGULAR_EXPRESSION, alphabet=PCORE_SERVICES, seed=7
+        )
+        pfa = pcore_pfa()
+        for _ in range(300):
+            pattern = generator.generate(12)
+            assert pfa.walk_probability(pattern.symbols) > 0.0
+
+    def test_juxtaposed_paper_notation_parses_identically(self):
+        compact = PatternGenerator(
+            regex="TC((TCH)* | TSTR(TCH)*)*(TD$ | TY$)",
+            alphabet=PCORE_SERVICES,
+            seed=0,
+        )
+        spaced = PatternGenerator(
+            regex=PCORE_REGULAR_EXPRESSION, alphabet=PCORE_SERVICES, seed=0
+        )
+        for word in (
+            ["TC", "TD"],
+            ["TC", "TS", "TR", "TY"],
+            ["TC", "TCH", "TS", "TR", "TD"],
+            ["TC", "TR", "TD"],
+        ):
+            assert compact.dfa.accepts_word(word) == spaced.dfa.accepts_word(word)
+
+
+class TestDistributionVariants:
+    def test_pcore_distribution_covers_all_labelled_rows(self):
+        dist = pcore_distribution()
+        assert (("TC", "TCH")) in dist
+        assert dist[("TR", "TD")] == pytest.approx(0.3)
+        assert len(dist) == 14
+
+    def test_uniform_variant_rows_sum_to_one(self):
+        uniform_pcore_pfa().validate()
+
+    def test_uniform_differs_from_paper(self):
+        paper = pcore_pfa()
+        uniform = uniform_pcore_pfa()
+        by_label = {paper.label(s): s for s in range(7)}
+        tc = by_label["TC"]
+        paper_row = {t.symbol: t.probability for t in paper.outgoing(tc)}
+        uniform_row = {t.symbol: t.probability for t in uniform.outgoing(tc)}
+        assert paper_row != uniform_row
+        assert uniform_row["TCH"] == pytest.approx(0.25)
+
+    def test_reweighted_overrides_and_normalises(self):
+        pfa = reweighted_pcore_pfa({("TC", "TD"): 8.0})
+        by_label = {pfa.label(s): s for s in range(7)}
+        row = {t.symbol: t.probability for t in pfa.outgoing(by_label["TC"])}
+        # TD got weight 8 against the paper's 0.6+0.1+0.1 for the rest.
+        assert row["TD"] == pytest.approx(8.0 / 8.8)
+        pfa.validate()
+
+    def test_expected_lifecycle_length_reasonable(self):
+        # A task lifecycle under the paper's distribution: a handful of
+        # services, not hundreds (sanity anchor for the E3 bench).
+        value = expected_pattern_length(pcore_pfa())
+        assert 2.0 < value < 15.0

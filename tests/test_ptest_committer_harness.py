@@ -1,0 +1,213 @@
+"""Tests for the committer and the AdaptiveTest harness (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bridge.bridge import build_bridge
+from repro.errors import ConfigError
+from repro.pcore.kernel import KernelConfig, PCoreKernel
+from repro.pcore.services import ServiceCode, ServiceStatus
+from repro.ptest.committer import Committer, PairBinding, PRIORITY_BAND
+from repro.ptest.config import PTestConfig
+from repro.ptest.harness import AdaptiveTest, run_adaptive_test
+from repro.ptest.merger import PatternMerger
+from repro.ptest.patterns import TestPattern
+from repro.ptest.recording import ProcessStateRecorder
+from repro.sim.mailbox import MailboxBank
+
+
+def build_committer(symbol_lists, lockstep=True, pair_programs=None):
+    patterns = [
+        TestPattern(pattern_id=i, symbols=tuple(s))
+        for i, s in enumerate(symbol_lists)
+    ]
+    merged = PatternMerger(op="round_robin").merge(patterns)
+    bank = MailboxBank.omap5912()
+    kernel = PCoreKernel(config=KernelConfig())
+    bridge_master, slave = build_bridge(bank, kernel)
+    recorder = ProcessStateRecorder()
+    committer = Committer(
+        bridge=bridge_master,
+        merged=merged,
+        recorder=recorder,
+        lockstep=lockstep,
+        pair_programs=pair_programs,
+    )
+    return committer, slave, kernel, recorder
+
+
+def run_pair(committer, slave, ticks):
+    for tick in range(ticks):
+        committer.step(tick)
+        slave.step(tick)
+        if committer.done:
+            break
+
+
+class TestPairBinding:
+    def test_priority_bands_do_not_overlap(self):
+        a = PairBinding(pair_id=0, program="idle")
+        b = PairBinding(pair_id=1, program="idle")
+        a_range = {a.next_priority() for _ in range(PRIORITY_BAND)}
+        b_range = {b.next_priority() for _ in range(PRIORITY_BAND)}
+        assert a_range.isdisjoint(b_range)
+
+    def test_master_state_label_tracks_issues(self):
+        binding = PairBinding(pair_id=2, program="idle")
+        assert binding.master_state() == "m2.0"
+        binding.issued = 3
+        assert binding.master_state() == "m2.3"
+
+
+class TestCommitter:
+    def test_full_lifecycle_executes(self):
+        committer, slave, kernel, _ = build_committer([("TC", "TS", "TR", "TD")])
+        run_pair(committer, slave, 200)
+        assert committer.done
+        assert committer.issued == 4
+        statuses = [r.status for r in committer.results]
+        assert all(s is ServiceStatus.OK for s in statuses)
+        assert not kernel.tasks  # created then deleted
+
+    def test_tc_reply_binds_tid(self):
+        committer, slave, kernel, _ = build_committer([("TC",)])
+        run_pair(committer, slave, 50)
+        assert committer.bindings[0].tid is not None
+
+    def test_td_clears_tid(self):
+        committer, slave, _, _ = build_committer([("TC", "TD")])
+        run_pair(committer, slave, 100)
+        assert committer.bindings[0].tid is None
+
+    def test_two_pairs_create_two_tasks(self):
+        committer, slave, kernel, _ = build_committer([("TC",), ("TC",)])
+        run_pair(committer, slave, 100)
+        assert len(kernel.tasks) == 2
+        priorities = {t.priority for t in kernel.tasks.values()}
+        assert len(priorities) == 2  # distinct bands
+
+    def test_lockstep_preserves_merged_order_per_pair(self):
+        committer, slave, kernel, _ = build_committer(
+            [("TC", "TS", "TR", "TD"), ("TC", "TCH", "TD")]
+        )
+        run_pair(committer, slave, 300)
+        assert committer.done
+        assert committer.error_results == []
+
+    def test_recorder_sees_issues_and_states(self):
+        committer, slave, kernel, recorder = build_committer([("TC", "TS")])
+        run_pair(committer, slave, 100)
+        record = recorder.record(0)
+        assert record.sequence_number == 2
+        assert record.remaining == ()
+
+    def test_ty_targets_own_pair_task(self):
+        committer, slave, kernel, _ = build_committer([("TC", "TY")])
+        run_pair(committer, slave, 100)
+        assert committer.done
+        assert not kernel.tasks
+        ty_result = [
+            r for r in committer.results
+            if r.request.service is ServiceCode.TY
+        ][0]
+        assert ty_result.ok
+
+    def test_error_replies_are_collected_not_fatal(self):
+        # TS on a task that already exited by TY: NO_SUCH_TASK.
+        committer, slave, kernel, _ = build_committer([("TC", "TY", "TD")])
+        run_pair(committer, slave, 200)
+        assert committer.done
+        assert len(committer.error_results) == 1
+        assert committer.error_results[0].status is ServiceStatus.NO_SUCH_TASK
+
+    def test_pair_programs_override(self):
+        seen = []
+
+        def probe(ctx):
+            seen.append(ctx.name)
+            from repro.pcore.programs import Exit
+
+            yield Exit(0)
+
+        committer, slave, kernel, _ = build_committer(
+            [("TC",), ("TC",)], pair_programs=("idle", "probe")
+        )
+        kernel.register_program("probe", probe)
+        run_pair(committer, slave, 100)
+        assert any(name.startswith("probe") for name in seen)
+
+    def test_unknown_symbol_raises(self):
+        with pytest.raises(ConfigError):
+            committer, slave, _, _ = build_committer([("XX",)])
+            run_pair(committer, slave, 10)
+
+
+class TestHarness:
+    def test_healthy_run_finds_nothing(self):
+        result = run_adaptive_test(
+            PTestConfig(pattern_count=3, pattern_size=6, seed=1, max_ticks=5000)
+        )
+        assert not result.found_bug
+        assert result.commands_issued > 0
+        assert result.service_counts.get("TC", 0) >= 3
+
+    def test_deterministic_results_under_seed(self):
+        config = PTestConfig(pattern_count=3, pattern_size=6, seed=9, max_ticks=5000)
+        first = run_adaptive_test(config)
+        second = run_adaptive_test(config)
+        assert first.patterns == second.patterns
+        assert first.commands_issued == second.commands_issued
+        assert first.ticks == second.ticks
+
+    def test_patterns_respect_re2(self):
+        result = run_adaptive_test(
+            PTestConfig(pattern_count=5, pattern_size=8, seed=2, max_ticks=5000)
+        )
+        from repro.ptest.pcore_model import pcore_pfa
+
+        pfa = pcore_pfa()
+        for pattern in result.patterns:
+            assert pfa.walk_probability(pattern) > 0.0
+
+    def test_restart_patterns_runs_multiple_rounds(self):
+        result = run_adaptive_test(
+            PTestConfig(
+                pattern_count=2,
+                pattern_size=4,
+                seed=3,
+                max_ticks=3000,
+                restart_patterns=True,
+            )
+        )
+        assert result.rounds > 1
+
+    def test_pattern_count_cannot_exceed_task_limit(self):
+        with pytest.raises(ConfigError):
+            PTestConfig(pattern_count=17)
+
+    def test_merged_override_replays_exact_pattern(self):
+        patterns = [TestPattern(pattern_id=0, symbols=("TC", "TD"))]
+        merged = PatternMerger(op="round_robin").merge(patterns)
+        config = PTestConfig(pattern_count=1, pattern_size=2, max_ticks=2000)
+        result = AdaptiveTest(config=config, merged_override=merged).run()
+        assert result.merged_length == 2
+        assert result.patterns == [("TC", "TD")]
+
+    def test_bug_report_reproduces(self):
+        from repro.workloads.scenarios import philosophers_case2
+
+        first = philosophers_case2(seed=4).run()
+        assert first.found_bug
+        second = philosophers_case2(seed=4).run()
+        assert second.found_bug
+        assert (
+            first.report.primary.kind is second.report.primary.kind
+        )
+        assert first.report.primary.detected_at == second.report.primary.detected_at
+
+    def test_summary_mentions_anomaly(self):
+        from repro.workloads.scenarios import philosophers_case2
+
+        result = philosophers_case2(seed=0).run()
+        assert "deadlock" in result.summary()

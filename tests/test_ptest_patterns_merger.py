@@ -1,0 +1,200 @@
+"""Tests for test patterns, the generator and the merger."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.ptest.generator import PatternGenerator
+from repro.ptest.merger import MERGE_OPS, PatternMerger, register_merge_op
+from repro.ptest.patterns import MergedPattern, PatternCommand, TestPattern
+from repro.ptest.pcore_model import PCORE_REGULAR_EXPRESSION, PCORE_SERVICES, pcore_pfa
+
+
+def make_patterns(symbol_lists) -> list[TestPattern]:
+    return [
+        TestPattern(pattern_id=index, symbols=tuple(symbols))
+        for index, symbols in enumerate(symbol_lists)
+    ]
+
+
+class TestTestPattern:
+    def test_subsequence_after(self):
+        pattern = TestPattern(pattern_id=0, symbols=("TC", "TS", "TR"))
+        assert pattern.subsequence_after(0) == ("TC", "TS", "TR")
+        assert pattern.subsequence_after(2) == ("TR",)
+        assert pattern.subsequence_after(3) == ()
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            TestPattern(pattern_id=-1, symbols=("TC",))
+        pattern = TestPattern(pattern_id=0, symbols=("TC",))
+        with pytest.raises(ConfigError):
+            pattern.subsequence_after(-1)
+
+    def test_describe(self):
+        pattern = TestPattern(pattern_id=0, symbols=("TC", "TD"))
+        assert pattern.describe() == "TC->TD"
+
+
+class TestGenerator:
+    def test_generates_from_re2(self):
+        generator = PatternGenerator(
+            regex=PCORE_REGULAR_EXPRESSION,
+            alphabet=PCORE_SERVICES,
+            seed=0,
+        )
+        batch = generator.generate_batch(10, 8)
+        assert len(batch) == 10
+        for pattern in batch:
+            assert pattern.symbols[0] == "TC"
+            assert generator.accepts(pattern.symbols)
+
+    def test_from_pfa_uses_paper_distribution(self):
+        generator = PatternGenerator.from_pfa(pcore_pfa(), seed=1)
+        batch = generator.generate_batch(200, 8)
+        # With the Fig. 5 distribution TCH dominates after TC (p=0.6).
+        second_symbols = [p.symbols[1] for p in batch if len(p) > 1]
+        tch_share = second_symbols.count("TCH") / len(second_symbols)
+        assert tch_share == pytest.approx(0.6, abs=0.1)
+
+    def test_deterministic_under_seed(self):
+        first = PatternGenerator.from_pfa(pcore_pfa(), seed=5).generate_batch(5, 6)
+        second = PatternGenerator.from_pfa(pcore_pfa(), seed=5).generate_batch(5, 6)
+        assert [p.symbols for p in first] == [p.symbols for p in second]
+
+    def test_pattern_ids_are_batch_indices(self):
+        generator = PatternGenerator.from_pfa(pcore_pfa(), seed=0)
+        batch = generator.generate_batch(4, 5)
+        assert [p.pattern_id for p in batch] == [0, 1, 2, 3]
+
+    def test_size_validation(self):
+        generator = PatternGenerator.from_pfa(pcore_pfa(), seed=0)
+        with pytest.raises(ConfigError):
+            generator.generate(0)
+        with pytest.raises(ConfigError):
+            generator.generate_batch(0, 5)
+
+
+class TestMergerOps:
+    def test_round_robin_alternates(self):
+        patterns = make_patterns([("A1", "A2"), ("B1", "B2")])
+        merged = PatternMerger(op="round_robin").merge(patterns)
+        assert [c.symbol for c in merged] == ["A1", "B1", "A2", "B2"]
+
+    def test_round_robin_handles_uneven_lengths(self):
+        patterns = make_patterns([("A1", "A2", "A3"), ("B1",)])
+        merged = PatternMerger(op="round_robin").merge(patterns)
+        assert [c.symbol for c in merged] == ["A1", "B1", "A2", "A3"]
+
+    def test_burst_concatenates(self):
+        patterns = make_patterns([("A1", "A2"), ("B1", "B2")])
+        merged = PatternMerger(op="burst").merge(patterns)
+        assert [c.symbol for c in merged] == ["A1", "A2", "B1", "B2"]
+
+    def test_cyclic_chunks(self):
+        patterns = make_patterns([("A1", "A2", "A3", "A4"), ("B1", "B2", "B3", "B4")])
+        merged = PatternMerger(op="cyclic", chunk=2).merge(patterns)
+        assert [c.symbol for c in merged] == [
+            "A1", "A2", "B1", "B2", "A3", "A4", "B3", "B4",
+        ]
+
+    def test_cyclic_chunk_validation(self):
+        patterns = make_patterns([("A1",)])
+        with pytest.raises(ConfigError):
+            PatternMerger(op="cyclic", chunk=0).merge(patterns)
+
+    def test_random_is_seed_deterministic(self):
+        patterns = make_patterns([("A1", "A2", "A3"), ("B1", "B2", "B3")])
+        first = PatternMerger(op="random", seed=7).merge(patterns)
+        second = PatternMerger(op="random", seed=7).merge(patterns)
+        assert [c.symbol for c in first] == [c.symbol for c in second]
+
+    def test_weighted_prefers_longer_patterns_early(self):
+        patterns = make_patterns([("A",) * 50, ("B",)])
+        merged = PatternMerger(op="weighted", seed=3).merge(patterns)
+        # The single B lands somewhere, but A dominates the head.
+        assert merged.commands[0].symbol == "A"
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ConfigError):
+            PatternMerger(op="no_such_op")
+
+    def test_register_custom_op(self):
+        def reverse_burst(patterns, rng, chunk):
+            order = []
+            for pattern in reversed(patterns):
+                order.extend([pattern.pattern_id] * len(pattern))
+            return order
+
+        register_merge_op("reverse_burst_test", reverse_burst)
+        try:
+            patterns = make_patterns([("A1",), ("B1",)])
+            merged = PatternMerger(op="reverse_burst_test").merge(patterns)
+            assert [c.symbol for c in merged] == ["B1", "A1"]
+        finally:
+            del MERGE_OPS["reverse_burst_test"]
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigError):
+            register_merge_op("round_robin", lambda p, r, c: [])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ConfigError):
+            PatternMerger().merge([])
+
+    def test_duplicate_ids_rejected(self):
+        patterns = [
+            TestPattern(pattern_id=0, symbols=("A",)),
+            TestPattern(pattern_id=0, symbols=("B",)),
+        ]
+        with pytest.raises(ConfigError):
+            PatternMerger().merge(patterns)
+
+
+class TestMergedPatternValidation:
+    def test_validate_catches_reordering(self):
+        pattern = TestPattern(pattern_id=0, symbols=("A1", "A2"))
+        commands = [
+            PatternCommand(symbol="A2", pattern_id=0, sequence_in_pattern=2, position=0),
+            PatternCommand(symbol="A1", pattern_id=0, sequence_in_pattern=1, position=1),
+        ]
+        merged = MergedPattern(commands=commands, op="bogus", sources=[pattern])
+        with pytest.raises(ConfigError):
+            merged.validate()
+
+    def test_validate_catches_missing_symbols(self):
+        pattern = TestPattern(pattern_id=0, symbols=("A1", "A2"))
+        commands = [
+            PatternCommand(symbol="A1", pattern_id=0, sequence_in_pattern=1, position=0),
+        ]
+        merged = MergedPattern(commands=commands, op="bogus", sources=[pattern])
+        with pytest.raises(ConfigError):
+            merged.validate()
+
+    def test_per_pattern_counts(self):
+        patterns = make_patterns([("A1", "A2"), ("B1",)])
+        merged = PatternMerger(op="round_robin").merge(patterns)
+        assert merged.per_pattern_counts() == {0: 2, 1: 1}
+
+
+@given(
+    op=st.sampled_from(["round_robin", "random", "cyclic", "burst", "weighted"]),
+    lengths=st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+    chunk=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=200, deadline=None)
+def test_every_merge_op_produces_a_valid_interleaving(op, lengths, seed, chunk):
+    """Property: any op's output passes MergedPattern.validate — i.e. it
+    is a true order-preserving interleaving containing every symbol."""
+    patterns = [
+        TestPattern(
+            pattern_id=index,
+            symbols=tuple(f"p{index}s{i}" for i in range(length)),
+        )
+        for index, length in enumerate(lengths)
+    ]
+    merged = PatternMerger(op=op, seed=seed, chunk=chunk).merge(patterns)
+    assert len(merged) == sum(lengths)  # validate() ran inside merge()

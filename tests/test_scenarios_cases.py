@@ -1,0 +1,116 @@
+"""Integration tests: the paper's two case studies end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ptest.detector import AnomalyKind
+from repro.workloads.scenarios import (
+    lifecycle_pfa,
+    philosophers_case2,
+    producer_consumer_scenario,
+    stress_case1,
+)
+
+
+class TestLifecyclePFA:
+    def test_degenerate_pfa_always_emits_sequence(self):
+        from repro.ptest.generator import PatternGenerator
+
+        generator = PatternGenerator.from_pfa(
+            lifecycle_pfa(("TC", "TS", "TR")), seed=0
+        )
+        for _ in range(5):
+            assert generator.generate(3).symbols == ("TC", "TS", "TR")
+
+
+class TestCase1Stress:
+    """Test case 1: 16 quick-sort tasks, create/delete churn, GC crash."""
+
+    def test_buggy_gc_crash_is_found(self):
+        result = stress_case1(seed=0).run()
+        assert result.found_bug
+        assert result.report.primary.kind is AnomalyKind.CRASH
+        assert "allocation failed" in result.report.primary.description
+        assert result.report.kernel_panic is not None
+
+    def test_crash_found_across_seeds(self):
+        for seed in range(3):
+            result = stress_case1(seed=seed).run()
+            assert result.found_bug, f"seed {seed} missed the GC crash"
+            assert result.report.primary.kind is AnomalyKind.CRASH
+
+    def test_correct_gc_control_is_clean(self):
+        result = stress_case1(seed=0, buggy_gc=False, max_ticks=20_000).run()
+        assert not result.found_bug
+
+    def test_stress_keeps_sixteen_pairs(self):
+        result = stress_case1(seed=0).run()
+        assert result.config.pattern_count == 16
+        assert result.service_counts["TC"] >= 16
+
+    def test_report_carries_reproduction_info(self):
+        result = stress_case1(seed=1).run()
+        report = result.report
+        assert report.config.seed == 1
+        assert report.merged_description
+        assert report.trace_tail
+        text = report.describe()
+        assert "crash" in text
+        assert "state records" in text
+
+    def test_crash_reproduces_deterministically(self):
+        first = stress_case1(seed=2).run()
+        second = stress_case1(seed=2).run()
+        assert first.report.found_at == second.report.found_at
+        assert first.report.primary.description == second.report.primary.description
+
+
+class TestCase2Philosophers:
+    """Test case 2: 3 tasks, 3 mutually exclusive resources, deadlock."""
+
+    def test_cyclic_merge_finds_deadlock(self):
+        result = philosophers_case2(seed=0).run()
+        assert result.found_bug
+        anomaly = result.report.primary
+        assert anomaly.kind is AnomalyKind.DEADLOCK
+        assert len(anomaly.tids) == 3  # all three philosophers
+        assert set(anomaly.resources) == {"fork0", "fork1", "fork2"}
+
+    def test_deadlock_found_across_seeds(self):
+        for seed in range(3):
+            result = philosophers_case2(seed=seed).run()
+            assert result.found_bug
+            assert result.report.primary.kind is AnomalyKind.DEADLOCK
+
+    def test_ordered_acquisition_control_is_clean(self):
+        for op in ("cyclic", "round_robin", "burst"):
+            result = philosophers_case2(seed=0, op=op, ordered=True).run()
+            assert not result.found_bug, f"false positive under op={op}"
+
+    def test_state_records_in_report(self):
+        result = philosophers_case2(seed=0).run()
+        records = result.report.state_records
+        assert len(records) == 3
+        for record in records:
+            assert record.pattern == ("TC", "TS", "TR")
+            assert record.sequence_number == 3
+
+    def test_deadlocked_tasks_are_blocked_in_dump(self):
+        result = philosophers_case2(seed=0).run()
+        blocked_lines = [
+            line for line in result.report.task_dump if "blocked" in line
+        ]
+        assert len(blocked_lines) == 3
+
+
+class TestProducerConsumerScenario:
+    def test_healthy_clean(self):
+        result = producer_consumer_scenario(seed=0, faulty=False).run()
+        assert not result.found_bug
+
+    def test_lost_wakeup_detected_as_starvation(self):
+        result = producer_consumer_scenario(seed=0, faulty=True).run()
+        assert result.found_bug
+        assert result.report.primary.kind is AnomalyKind.STARVATION
+        assert "consumer" in result.report.primary.description

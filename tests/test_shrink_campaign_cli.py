@@ -1,0 +1,196 @@
+"""Tests for pattern shrinking, campaigns and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ptest.campaign import Campaign, compare_ops
+from repro.ptest.detector import AnomalyKind
+from repro.ptest.generator import PatternGenerator
+from repro.ptest.harness import AdaptiveTest
+from repro.ptest.merger import PatternMerger
+from repro.ptest.patterns import TestPattern
+from repro.ptest.shrink import PatternShrinker, truncate_merged
+from repro.workloads.scenarios import lifecycle_pfa, philosophers_case2
+
+
+def make_long_philosopher_merge(seed: int = 0):
+    """A deliberately padded failing pattern for shrinking."""
+    generator = PatternGenerator.from_pfa(
+        lifecycle_pfa(("TC", "TS", "TR", "TS", "TR", "TS", "TR")), seed=seed
+    )
+    patterns = generator.generate_batch(3, 7)
+    return PatternMerger(op="cyclic", chunk=2, seed=seed).merge(patterns)
+
+
+class TestTruncateMerged:
+    def test_keeps_prefixes_in_order(self):
+        patterns = [
+            TestPattern(pattern_id=0, symbols=("A1", "A2", "A3")),
+            TestPattern(pattern_id=1, symbols=("B1", "B2")),
+        ]
+        merged = PatternMerger(op="round_robin").merge(patterns)
+        cut = truncate_merged(merged, {0: 2, 1: 1})
+        assert [c.symbol for c in cut] == ["A1", "B1", "A2"]
+
+    def test_zero_keep_drops_pair_entirely(self):
+        patterns = [
+            TestPattern(pattern_id=0, symbols=("A1",)),
+            TestPattern(pattern_id=1, symbols=("B1",)),
+        ]
+        merged = PatternMerger(op="round_robin").merge(patterns)
+        cut = truncate_merged(merged, {0: 0, 1: 1})
+        assert [c.symbol for c in cut] == ["B1"]
+
+    def test_result_validates(self):
+        merged = make_long_philosopher_merge()
+        cut = truncate_merged(merged, {0: 3, 1: 2, 2: 1})
+        assert len(cut) == 6  # validate() ran inside
+
+
+class TestShrinker:
+    def test_shrinks_philosopher_deadlock(self):
+        scenario = philosophers_case2(seed=0)
+        merged = make_long_philosopher_merge()
+        # Confirm the padded pattern fails first.
+        result = AdaptiveTest(
+            config=scenario.config,
+            programs=dict(scenario.programs),
+            merged_override=merged,
+        ).run()
+        assert result.found_bug
+        shrinker = PatternShrinker(
+            config=scenario.config,
+            programs=dict(scenario.programs),
+            target=AnomalyKind.DEADLOCK,
+        )
+        shrunk = shrinker.shrink(merged)
+        assert shrunk.shrunk_length < shrunk.original_length
+        assert shrunk.reduction > 0.5
+        # The minimal pattern still triggers the deadlock.
+        confirm = AdaptiveTest(
+            config=scenario.config,
+            programs=dict(scenario.programs),
+            merged_override=shrunk.shrunk,
+        ).run()
+        assert confirm.found_bug
+        assert confirm.report.primary.kind is AnomalyKind.DEADLOCK
+
+    def test_shrink_is_one_minimal(self):
+        scenario = philosophers_case2(seed=0)
+        merged = make_long_philosopher_merge()
+        shrinker = PatternShrinker(
+            config=scenario.config,
+            programs=dict(scenario.programs),
+            target=AnomalyKind.DEADLOCK,
+        )
+        shrunk = shrinker.shrink(merged).shrunk
+        # Removing the last command of any pair must break the repro.
+        keep = {p.pattern_id: len(p) for p in shrunk.sources}
+        for pair_id in keep:
+            if keep[pair_id] == 0:
+                continue
+            candidate = dict(keep)
+            candidate[pair_id] -= 1
+            result = AdaptiveTest(
+                config=scenario.config,
+                programs=dict(scenario.programs),
+                merged_override=truncate_merged(shrunk, candidate),
+            ).run()
+            still_deadlocks = (
+                result.found_bug
+                and result.report.primary.kind is AnomalyKind.DEADLOCK
+            )
+            assert not still_deadlocks
+
+    def test_budget_respected(self):
+        scenario = philosophers_case2(seed=0)
+        merged = make_long_philosopher_merge()
+        shrinker = PatternShrinker(
+            config=scenario.config,
+            programs=dict(scenario.programs),
+            target=AnomalyKind.DEADLOCK,
+            max_runs=3,
+        )
+        shrinker.shrink(merged)
+        assert shrinker.runs_executed <= 3
+
+
+class TestCampaign:
+    def test_campaign_aggregates(self):
+        campaign = Campaign(seeds=(0, 1))
+        campaign.add_variant(
+            "buggy", lambda seed: philosophers_case2(seed=seed)
+        )
+        campaign.add_variant(
+            "fixed", lambda seed: philosophers_case2(seed=seed, ordered=True)
+        )
+        rows = {row.variant: row for row in campaign.run()}
+        assert rows["buggy"].rate == 1.0
+        assert rows["fixed"].rate == 0.0
+        assert rows["buggy"].kinds == ("deadlock",)
+        assert campaign.kind_counts("buggy") == {"deadlock": 2}
+
+    def test_duplicate_variant_rejected(self):
+        campaign = Campaign()
+        campaign.add_variant("x", lambda seed: philosophers_case2(seed=seed))
+        with pytest.raises(ValueError):
+            campaign.add_variant("x", lambda seed: philosophers_case2(seed=seed))
+
+    def test_compare_ops_scores_expected_kind(self):
+        rows = compare_ops(
+            lambda op, seed: philosophers_case2(seed=seed, op=op),
+            ops=("cyclic", "burst"),
+            seeds=(0, 1),
+            expected=AnomalyKind.DEADLOCK,
+        )
+        by_name = {row.variant: row for row in rows}
+        assert by_name["cyclic"].detections == 2
+
+
+class TestCli:
+    def test_faults_lists_catalogue(self, capsys):
+        from repro.cli import main
+
+        assert main(["faults"]) == 0
+        output = capsys.readouterr().out
+        assert "gc_leak" in output and "cyclic_lock" in output
+
+    def test_philosophers_returns_failure_code_on_bug(self, capsys):
+        from repro.cli import main
+
+        assert main(["philosophers", "--seed", "0"]) == 1
+        assert "deadlock" in capsys.readouterr().out
+
+    def test_philosophers_ordered_control_clean(self, capsys):
+        from repro.cli import main
+
+        assert main(["philosophers", "--ordered"]) == 0
+
+    def test_fig1_bad_order(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig1", "--order", "bad"]) == 1
+        assert "unreachable" in capsys.readouterr().out
+
+    def test_fig1_good_order(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig1", "--order", "good"]) == 0
+
+    def test_run_healthy(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "-n", "2", "-s", "4", "--seed", "1"]) == 0
+        assert "no anomaly" in capsys.readouterr().out
+
+    def test_sweep_unknown_fault(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "no_such_fault"]) == 2
+
+    def test_sweep_cyclic_lock(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "cyclic_lock", "--seeds", "2"]) == 0
+        assert "detected 2/2" in capsys.readouterr().out

@@ -1,0 +1,188 @@
+"""Tests for the simulated clock, event scheduler and shared memory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MemoryError_, SimulationError
+from repro.sim.events import EventScheduler, SimClock
+from repro.sim.memory import OMAP5912_SRAM_BYTES, SharedMemory
+
+
+class TestClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = SimClock()
+        assert clock.now == 0
+        clock.advance(5)
+        assert clock.now == 5
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock().advance(-1)
+
+
+class TestEventScheduler:
+    def test_fires_in_time_order(self):
+        scheduler = EventScheduler()
+        fired: list[str] = []
+        scheduler.schedule_at(3, lambda: fired.append("late"))
+        scheduler.schedule_at(1, lambda: fired.append("early"))
+        scheduler.tick(5)
+        assert fired == ["early", "late"]
+
+    def test_ties_fire_in_insertion_order(self):
+        scheduler = EventScheduler()
+        fired: list[int] = []
+        for index in range(5):
+            scheduler.schedule_at(2, lambda i=index: fired.append(i))
+        scheduler.tick(2)
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_cancelled_events_are_skipped(self):
+        scheduler = EventScheduler()
+        fired = []
+        event = scheduler.schedule_at(1, lambda: fired.append("x"))
+        event.cancel()
+        scheduler.tick(3)
+        assert fired == []
+        assert scheduler.pending() == 0
+
+    def test_schedule_in_past_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.tick(5)
+        with pytest.raises(SimulationError):
+            scheduler.schedule_at(2, lambda: None)
+
+    def test_schedule_after(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.tick(4)
+        scheduler.schedule_after(3, lambda: fired.append(scheduler.clock.now))
+        scheduler.tick(5)
+        assert fired == [7]
+
+    def test_callbacks_may_schedule_more(self):
+        scheduler = EventScheduler()
+        fired = []
+
+        def chain():
+            fired.append(scheduler.clock.now)
+            if len(fired) < 3:
+                scheduler.schedule_after(2, chain)
+
+        scheduler.schedule_at(1, chain)
+        scheduler.tick(10)
+        assert fired == [1, 3, 5]
+
+    def test_run_until_idle_jumps(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule_at(100, lambda: fired.append("a"))
+        scheduler.schedule_at(500, lambda: fired.append("b"))
+        elapsed = scheduler.run_until_idle()
+        assert fired == ["a", "b"]
+        assert elapsed == 500
+
+    def test_run_until_idle_detects_rearming_loop(self):
+        scheduler = EventScheduler()
+
+        def rearm():
+            scheduler.schedule_after(10, rearm)
+
+        scheduler.schedule_at(1, rearm)
+        with pytest.raises(SimulationError):
+            scheduler.run_until_idle(max_ticks=100)
+
+    def test_next_due_skips_cancelled(self):
+        scheduler = EventScheduler()
+        first = scheduler.schedule_at(1, lambda: None)
+        scheduler.schedule_at(7, lambda: None)
+        first.cancel()
+        assert scheduler.next_due() == 7
+
+
+class TestSharedMemory:
+    def test_default_is_omap_sram_size(self):
+        assert SharedMemory().size == OMAP5912_SRAM_BYTES == 250 * 1024
+
+    def test_u8_roundtrip(self):
+        memory = SharedMemory(size=64)
+        memory.write_u8(3, 0xAB)
+        assert memory.read_u8(3) == 0xAB
+
+    def test_u16_little_endian(self):
+        memory = SharedMemory(size=64)
+        memory.write_u16(4, 0x1234)
+        assert memory.read_u8(4) == 0x34
+        assert memory.read_u8(5) == 0x12
+        assert memory.read_u16(4) == 0x1234
+
+    def test_u32_roundtrip(self):
+        memory = SharedMemory(size=64)
+        memory.write_u32(8, 0xDEADBEEF)
+        assert memory.read_u32(8) == 0xDEADBEEF
+
+    def test_out_of_range_rejected(self):
+        memory = SharedMemory(size=16)
+        with pytest.raises(MemoryError_):
+            memory.read_u8(16)
+        with pytest.raises(MemoryError_):
+            memory.write_u32(14, 1)
+        with pytest.raises(MemoryError_):
+            memory.read_u8(-1)
+
+    def test_misaligned_rejected(self):
+        memory = SharedMemory(size=64)
+        with pytest.raises(MemoryError_):
+            memory.read_u16(3)
+        with pytest.raises(MemoryError_):
+            memory.write_u32(2, 1)
+
+    def test_value_range_checked(self):
+        memory = SharedMemory(size=64)
+        with pytest.raises(MemoryError_):
+            memory.write_u8(0, 256)
+        with pytest.raises(MemoryError_):
+            memory.write_u16(0, 2**16)
+
+    def test_block_roundtrip(self):
+        memory = SharedMemory(size=64)
+        memory.write_block(10, b"hello")
+        assert memory.read_block(10, 5) == b"hello"
+
+    def test_block_overrun_rejected(self):
+        memory = SharedMemory(size=16)
+        with pytest.raises(MemoryError_):
+            memory.write_block(12, b"toolong")
+        with pytest.raises(MemoryError_):
+            memory.read_block(12, 10)
+
+    def test_watchpoint_fires_on_write(self):
+        memory = SharedMemory(size=64)
+        hits = []
+        memory.watch(6, lambda addr, old, new: hits.append((addr, old, new)))
+        memory.write_u16(6, 7)
+        memory.write_u16(6, 9)
+        assert hits == [(6, 0, 7), (6, 7, 9)]
+
+    def test_unwatch_stops_callbacks(self):
+        memory = SharedMemory(size=64)
+        hits = []
+        memory.watch(6, lambda *args: hits.append(args))
+        memory.unwatch(6)
+        memory.write_u16(6, 7)
+        assert hits == []
+
+    def test_counters(self):
+        memory = SharedMemory(size=64)
+        memory.write_u8(0, 1)
+        memory.read_u8(0)
+        memory.read_u16(0)
+        assert memory.writes == 1
+        assert memory.reads == 2
+
+    def test_clear_resets_contents(self):
+        memory = SharedMemory(size=64)
+        memory.write_u32(0, 0xFFFFFFFF)
+        memory.clear()
+        assert memory.read_u32(0) == 0
