@@ -11,40 +11,48 @@ pTest catalogue sweep entry.
 
 from __future__ import annotations
 
-from repro.baselines.random_tester import RandomTester
+import os
+
 from repro.baselines.systematic import SystematicExplorer, interleavings
+from repro.ptest.campaign import Campaign
 from repro.ptest.generator import PatternGenerator
 from repro.ptest.patterns import TestPattern
-from repro.workloads.scenarios import lifecycle_pfa, philosophers_case2
+from repro.workloads.scenarios import (
+    build_philosophers_ptest,
+    build_philosophers_random,
+    lifecycle_pfa,
+    philosophers_case2,
+)
 
 from conftest import format_table
 
 SEEDS = range(5)
+WORKERS = min(4, os.cpu_count() or 1)
 
 
-def _ptest_row():
-    found = commands = 0
-    for seed in SEEDS:
-        result = philosophers_case2(seed=seed, op="cyclic").run()
-        found += int(result.found_bug)
-        commands += result.commands_issued
-    return ("pTest (adaptive)", f"{found}/{len(list(SEEDS))}", f"{commands} commands")
-
-
-def _random_row():
-    found = commands = 0
-    for seed in SEEDS:
-        scenario = philosophers_case2(seed=seed)
-        result = RandomTester(
-            config=scenario.config, programs=dict(scenario.programs)
-        ).run()
-        found += int(result.found_bug)
-        commands += result.commands_issued
-    return (
-        "ConTest-style random",
-        f"{found}/{len(list(SEEDS))}",
-        f"{commands} commands",
+def _sweep_rows():
+    """pTest and random sweeps dispatched through the campaign executor."""
+    campaign = Campaign(
+        seeds=tuple(SEEDS),
+        variants={
+            "ptest": build_philosophers_ptest,
+            "random": build_philosophers_random,
+        },
+        workers=WORKERS,
     )
+    campaign.run()
+    labels = {
+        "ptest": "pTest (adaptive)",
+        "random": "ConTest-style random",
+    }
+    rows = []
+    for variant, runs in campaign.results.items():
+        found = sum(int(run.found_bug) for run in runs)
+        commands = sum(run.commands_issued for run in runs)
+        rows.append(
+            (labels[variant], f"{found}/{len(runs)}", f"{commands} commands")
+        )
+    return rows
 
 
 def _systematic_row():
@@ -86,7 +94,7 @@ def _blowup_rows():
 
 
 def test_baseline_comparison(benchmark, emit):
-    detection = [_ptest_row(), _random_row(), _systematic_row()]
+    detection = _sweep_rows() + [_systematic_row()]
     blowup = _blowup_rows()
     text = (
         "dining-philosophers fault, detection over "

@@ -1,0 +1,281 @@
+#!/usr/bin/env python
+"""Performance baseline for the three hot-path layers.
+
+Times, on this machine:
+
+1. **Compiled sampling** — patterns/sec of the legacy dict-walking
+   sampler (faithfully re-implemented here, per-step re-sort included)
+   vs. the :class:`CompiledPFA`-backed sampler, on the Fig. 5 pCore
+   PFA in restart mode.
+2. **Campaign throughput** — (variant, seed) cells/sec of the
+   philosophers sweep run serially vs. through the process-pool
+   executor (``--workers``, default 4).
+3. **Deadlock detection** — detector sweeps/sec of the legacy
+   networkx-rebuild check vs. the incremental wait-for graph, in the
+   steady state where mutex ownership is not changing (the common case
+   between interleavings).
+
+Results are printed and persisted as machine-readable JSON at
+``benchmarks/out/bench_perf_hotpaths.json`` (same directory as the text
+artifacts of the paper-figure benches) so future PRs have a trajectory
+to compare against.  ``--quick`` shrinks every layer for CI smoke runs.
+
+Run:  PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from functools import partial
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.automata.reference import LegacySampler, networkx_cycle_tids
+from repro.automata.sampling import PatternSampler
+from repro.pcore.kernel import KernelConfig, PCoreKernel
+from repro.pcore.programs import Acquire, Compute, Exit
+from repro.pcore.services import ServiceCode
+from repro.pcore.testkit import create_task, run_service
+from repro.ptest.campaign import Campaign
+from repro.ptest.pcore_model import pcore_pfa
+from repro.ptest.waitgraph import IncrementalWaitForGraph
+from repro.workloads.scenarios import philosophers_case2
+
+OUT_PATH = Path(__file__).parent / "out" / "bench_perf_hotpaths.json"
+
+
+# -- layer 1: sampling ---------------------------------------------------------
+# LegacySampler (imported above) is the frozen pre-PR walk shared with
+# tests/test_perf_subsystem.py via repro.automata.reference.
+
+
+def bench_sampling(quick: bool) -> dict:
+    pfa = pcore_pfa()
+    # Restart mode models continuous stress (test case 1); 100 symbols
+    # keeps per-pattern fixed costs from masking the per-step win.
+    size = 100
+    count = 400 if quick else 2000
+    reps = 3 if quick else 5
+
+    def rate(sampler_factory) -> float:
+        best = 0.0
+        for _ in range(reps):
+            sampler = sampler_factory()
+            start = time.perf_counter()
+            for _ in range(count):
+                sampler.sample(size)
+            best = max(best, count / (time.perf_counter() - start))
+        return best
+
+    legacy = rate(lambda: LegacySampler(pfa, seed=0, on_final="restart"))
+    compiled = rate(
+        lambda: PatternSampler(pfa, seed=0, on_final="restart")
+    )
+    # Correctness guard: the two paths must stay bit-identical.
+    check = PatternSampler(pfa, seed=17, on_final="restart").sample(40)
+    reference = LegacySampler(pfa, seed=17, on_final="restart").sample(40)
+    assert (
+        check.symbols,
+        check.states,
+        check.log_probability,
+        check.restarts,
+    ) == reference, "compiled sampler diverged from the legacy walk"
+    return {
+        "pattern_size": size,
+        "patterns_timed": count,
+        "legacy_patterns_per_sec": round(legacy, 1),
+        "compiled_patterns_per_sec": round(compiled, 1),
+        "speedup": round(compiled / legacy, 2),
+    }
+
+
+# -- layer 2: campaigns --------------------------------------------------------
+
+
+def _philosophers_campaign(seeds, workers) -> Campaign:
+    return Campaign(
+        seeds=tuple(seeds),
+        variants={
+            "cyclic": partial(philosophers_case2, op="cyclic"),
+            "round_robin": partial(philosophers_case2, op="round_robin"),
+            "ordered": partial(philosophers_case2, ordered=True),
+        },
+        workers=workers,
+    )
+
+
+def bench_campaign(quick: bool, workers: int) -> dict:
+    seeds = range(8) if quick else range(60)
+    cells = 3 * len(seeds)
+
+    def wall(n_workers: int) -> float:
+        campaign = _philosophers_campaign(seeds, n_workers)
+        start = time.perf_counter()
+        campaign.run()
+        return time.perf_counter() - start
+
+    serial = wall(1)
+    parallel = wall(workers)
+    return {
+        "cells": cells,
+        "workers": workers,
+        "serial_cells_per_sec": round(cells / serial, 2),
+        "parallel_cells_per_sec": round(cells / parallel, 2),
+        "speedup": round(serial / parallel, 2),
+    }
+
+
+# -- layer 3: detection --------------------------------------------------------
+
+
+def _deadlocked_kernel() -> PCoreKernel:
+    """A kernel wedged in the classic two-task / two-mutex cycle."""
+    kernel = PCoreKernel(config=KernelConfig())
+
+    def grab(first, second):
+        def program(ctx):
+            yield Acquire(first)
+            yield Compute(30)
+            yield Acquire(second)
+            yield Exit(0)
+
+        return program
+
+    kernel.register_program("g1", grab("ra", "rb"))
+    kernel.register_program("g2", grab("rb", "ra"))
+    create_task(kernel, priority=1, program="g1")
+    t2 = create_task(kernel, priority=2, program="g2").value
+    for tick in range(3):
+        kernel.step(tick)
+    run_service(kernel, ServiceCode.TS, target=t2)
+    for tick in range(3, 40):
+        kernel.step(tick)
+    run_service(kernel, ServiceCode.TR, target=t2)
+    for tick in range(40, 80):
+        kernel.step(tick)
+    return kernel
+
+
+def bench_detector(quick: bool) -> dict:
+    kernel = _deadlocked_kernel()
+    sweeps = 2_000 if quick else 20_000
+
+    def legacy_sweep() -> tuple | None:
+        return networkx_cycle_tids(kernel.wait_for_edges())
+
+    start = time.perf_counter()
+    for _ in range(sweeps):
+        legacy_cycle = legacy_sweep()
+    legacy_rate = sweeps / (time.perf_counter() - start)
+
+    waitgraph = IncrementalWaitForGraph()
+    resources = kernel.resources
+    start = time.perf_counter()
+    for _ in range(sweeps):
+        waitgraph.refresh(resources)
+        incremental_cycle = waitgraph.find_cycle()
+    incremental_rate = sweeps / (time.perf_counter() - start)
+
+    assert incremental_cycle is not None and legacy_cycle is not None
+    assert (
+        tuple(sorted({edge[0] for edge in incremental_cycle}))
+        == legacy_cycle
+    ), "incremental cycle diverged from the networkx rebuild"
+    return {
+        "sweeps_timed": sweeps,
+        "rebuild_sweeps_per_sec": round(legacy_rate, 1),
+        "incremental_sweeps_per_sec": round(incremental_rate, 1),
+        "speedup": round(incremental_rate / legacy_rate, 2),
+        "cycle_searches_run": waitgraph.searches,
+    }
+
+
+# -- entry point ---------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small iteration counts for CI smoke runs",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="process-pool width for the campaign layer (default 4)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=OUT_PATH,
+        help="where to write the JSON artifact",
+    )
+    args = parser.parse_args(argv)
+
+    results = {
+        "bench": "perf_hotpaths",
+        "quick": args.quick,
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "sampling": bench_sampling(args.quick),
+        "campaign": bench_campaign(args.quick, args.workers),
+        "detector": bench_detector(args.quick),
+    }
+    # Targets are the PR-1 acceptance goals; floors are what CI
+    # (.github/workflows/ci.yml) actually gates on — keep them in sync.
+    results["criteria"] = {
+        "sampling_speedup_target": 5.0,
+        "sampling_speedup_met": results["sampling"]["speedup"] >= 5.0,
+        "sampling_ci_floor": 3.0,
+        "campaign_speedup_target": 2.0,
+        "campaign_speedup_met": results["campaign"]["speedup"] >= 2.0,
+        "campaign_ci_floor": None,  # not gated: needs multi-core hardware
+        "detector_ci_floor": 5.0,
+        "detector_floor_met": results["detector"]["speedup"] >= 5.0,
+        "note": (
+            "campaign speedup needs >= workers physical cores; "
+            f"this machine has {os.cpu_count()}"
+        ),
+    }
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+
+    sampling, campaign, detector = (
+        results["sampling"],
+        results["campaign"],
+        results["detector"],
+    )
+    print("== perf hot paths ==")
+    print(
+        f"sampling:  {sampling['legacy_patterns_per_sec']:>10.0f} -> "
+        f"{sampling['compiled_patterns_per_sec']:>10.0f} patterns/s  "
+        f"({sampling['speedup']}x)"
+    )
+    print(
+        f"campaign:  {campaign['serial_cells_per_sec']:>10.2f} -> "
+        f"{campaign['parallel_cells_per_sec']:>10.2f} cells/s     "
+        f"({campaign['speedup']}x at workers={campaign['workers']})"
+    )
+    print(
+        f"detector:  {detector['rebuild_sweeps_per_sec']:>10.0f} -> "
+        f"{detector['incremental_sweeps_per_sec']:>10.0f} sweeps/s   "
+        f"({detector['speedup']}x)"
+    )
+    print(f"json: {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

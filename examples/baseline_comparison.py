@@ -7,43 +7,56 @@ explosive).  This script runs all three against the same seeded faults
 and prints detection rate, commands spent, and wasted (error-reply)
 commands.
 
-Run:  python examples/baseline_comparison.py
+The pTest and random sweeps dispatch through
+:class:`~repro.ptest.campaign.Campaign`'s work-queue executor, so on a
+multi-core machine the (variant, seed) cells run in parallel; pass
+``--workers 1`` to force the serial path (results are identical either
+way).
+
+Run:  python examples/baseline_comparison.py [--workers N]
 """
 
 from __future__ import annotations
 
-from repro.baselines.random_tester import RandomTester
+import argparse
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 from repro.baselines.systematic import SystematicExplorer
+from repro.ptest.campaign import Campaign
 from repro.ptest.generator import PatternGenerator
 from repro.workloads.scenarios import (
+    build_philosophers_ptest,
+    build_philosophers_random,
     lifecycle_pfa,
     philosophers_case2,
 )
 
-SEEDS = range(5)
+SEEDS = tuple(range(5))
 
 
-def run_ptest() -> tuple[int, int, int]:
-    found = commands = wasted = 0
-    for seed in SEEDS:
-        result = philosophers_case2(seed=seed, op="cyclic").run()
-        commands += result.commands_issued
-        wasted += result.commands_failed
-        found += int(result.found_bug)
-    return found, commands, wasted
-
-
-def run_random() -> tuple[int, int, int]:
-    found = commands = wasted = 0
-    for seed in SEEDS:
-        scenario = philosophers_case2(seed=seed)
-        result = RandomTester(
-            config=scenario.config, programs=dict(scenario.programs)
-        ).run()
-        commands += result.commands_issued
-        wasted += result.commands_failed
-        found += int(result.found_bug)
-    return found, commands, wasted
+def run_sweeps(workers: int) -> dict[str, tuple[int, int, int]]:
+    """pTest and random sweeps as one campaign over the executor."""
+    campaign = Campaign(
+        seeds=SEEDS,
+        variants={
+            "ptest": build_philosophers_ptest,
+            "random": build_philosophers_random,
+        },
+        workers=workers,
+    )
+    campaign.run()
+    summary = {}
+    for variant, runs in campaign.results.items():
+        summary[variant] = (
+            sum(int(run.found_bug) for run in runs),
+            sum(run.commands_issued for run in runs),
+            sum(run.commands_failed for run in runs),
+        )
+    return summary
 
 
 def run_systematic() -> tuple[int, int, int]:
@@ -67,23 +80,33 @@ def run_systematic() -> tuple[int, int, int]:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=min(4, os.cpu_count() or 1),
+        help="campaign process-pool width (default: min(4, cpu_count))",
+    )
+    args = parser.parse_args()
+
     print("baseline comparison on the dining-philosophers fault")
-    print(f"(detection over {len(list(SEEDS))} seeds)\n")
-    ptest = run_ptest()
-    random_ = run_random()
+    print(f"(detection over {len(SEEDS)} seeds, workers={args.workers})\n")
+    sweeps = run_sweeps(args.workers)
+    ptest = sweeps["ptest"]
+    random_ = sweeps["random"]
     systematic = run_systematic()
     print(f"{'tester':>24} | {'found':>5} | {'effort':>18}")
     print("-" * 56)
     print(
-        f"{'pTest (adaptive, cyclic)':>24} | {ptest[0]:>2}/{len(list(SEEDS))} "
+        f"{'pTest (adaptive, cyclic)':>24} | {ptest[0]:>2}/{len(SEEDS)} "
         f"| {ptest[1]:>5} cmds ({ptest[2]} err)"
     )
     print(
-        f"{'ConTest-style random':>24} | {random_[0]:>2}/{len(list(SEEDS))} "
+        f"{'ConTest-style random':>24} | {random_[0]:>2}/{len(SEEDS)} "
         f"| {random_[1]:>5} cmds ({random_[2]} err)"
     )
     print(
-        f"{'CHESS-lite systematic':>24} | {systematic[0]:>2}/{len(list(SEEDS))} "
+        f"{'CHESS-lite systematic':>24} | {systematic[0]:>2}/{len(SEEDS)} "
         f"| {systematic[1]:>5} full runs"
     )
     print(

@@ -15,6 +15,11 @@ Run:  python examples/deadlock_hunt.py
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 from repro.ptest.detector import AnomalyKind
 from repro.workloads.scenarios import philosophers_case2
 

@@ -17,6 +17,11 @@ Run:  python examples/distribution_tuning.py
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 from repro.analysis.coverage import pattern_transition_coverage
 from repro.analysis.metrics import duplication_rate
 from repro.analysis.profiling import learn_distribution_from_patterns

@@ -11,6 +11,11 @@ Run:  python examples/fig1_walkthrough.py
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 from repro.workloads.fig1 import run_fig1
 
 

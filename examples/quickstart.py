@@ -10,6 +10,11 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 from repro.ptest import PTestConfig, run_adaptive_test
 from repro.ptest.pcore_model import PCORE_REGULAR_EXPRESSION
 

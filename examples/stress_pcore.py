@@ -17,6 +17,9 @@ Run:  python examples/stress_pcore.py [seed]
 from __future__ import annotations
 
 import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.workloads.scenarios import stress_case1
 

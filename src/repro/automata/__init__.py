@@ -39,6 +39,7 @@ from repro.automata.distributions import (
     uniform_distribution,
     validate_distribution,
 )
+from repro.automata.compiled import CompiledPFA
 from repro.automata.sampling import PatternSampler, SampledPattern, sample_pattern
 from repro.automata.learn import estimate_distribution, TraceCounter
 from repro.automata.operations import (
@@ -86,6 +87,7 @@ __all__ = [
     "normalize_weights",
     "uniform_distribution",
     "validate_distribution",
+    "CompiledPFA",
     "PatternSampler",
     "SampledPattern",
     "sample_pattern",

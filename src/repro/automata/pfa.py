@@ -62,6 +62,11 @@ class PFA:
     start: int
     accepts: frozenset[int]
     state_labels: dict[int, str] = field(default_factory=dict)
+    #: Lazily built sorted-arc rows; ``transitions`` is treated as
+    #: immutable once the automaton has validated.
+    _outgoing_cache: dict[int, list[Transition]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.validate()
@@ -99,9 +104,17 @@ class PFA:
 
     def outgoing(self, state: int) -> list[Transition]:
         """Outgoing transitions of ``state``, sorted by symbol for
-        deterministic iteration order."""
-        arcs = self.transitions.get(state, {})
-        return [arcs[symbol] for symbol in sorted(arcs)]
+        deterministic iteration order.
+
+        Rows are sorted once and cached; callers must not mutate the
+        returned list (copy it first if a scratch list is needed).
+        """
+        cached = self._outgoing_cache.get(state)
+        if cached is None:
+            arcs = self.transitions.get(state, {})
+            cached = [arcs[symbol] for symbol in sorted(arcs)]
+            self._outgoing_cache[state] = cached
+        return cached
 
     def step(self, state: int, symbol: str) -> Transition | None:
         """The transition out of ``state`` on ``symbol``, if any."""

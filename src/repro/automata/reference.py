@@ -1,0 +1,91 @@
+"""Frozen pre-compilation reference implementations.
+
+:class:`~repro.automata.compiled.CompiledPFA` sampling is contractually
+*bit-identical* to the original dict-walking sampler, and the
+incremental wait-for graph must agree with a from-scratch cycle search.
+This module pins both contracts: it carries the legacy algorithms,
+verbatim, for the equivalence tests (``tests/test_perf_subsystem.py``)
+and the perf baseline (``benchmarks/bench_perf_hotpaths.py``) to
+compare against.  One shared copy means the two checks cannot drift
+onto different references.
+
+Nothing in the runtime imports this module; it exists for tests and
+benchmarks.  Do not "optimise" it — its value is staying exactly as
+slow as the pre-compilation code was.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+class LegacySampler:
+    """The pre-compilation Algorithm 2 walk, verbatim: every step
+    re-sorts the state's transition dict into a list and
+    roulette-wheels over it with a linear scan."""
+
+    def __init__(self, pfa, seed, on_final="stop"):
+        self.pfa = pfa
+        self.on_final = on_final
+        self._rng = random.Random(seed)
+
+    def _outgoing(self, state):
+        arcs = self.pfa.transitions.get(state, {})
+        return [arcs[symbol] for symbol in sorted(arcs)]
+
+    def _choose(self, state):
+        arcs = self._outgoing(state)
+        if len(arcs) == 1:
+            return arcs[0]
+        pick = self._rng.random()
+        cumulative = 0.0
+        for transition in arcs:
+            cumulative += transition.probability
+            if pick < cumulative:
+                return transition
+        return arcs[-1]  # guard against floating-point undershoot
+
+    def sample(self, size):
+        """One walk; returns ``(symbols, states, log_prob, restarts)``."""
+        symbols, states = [], [self.pfa.start]
+        log_probability = 0.0
+        restarts = 0
+        state = self.pfa.start
+        while len(symbols) < size:
+            if not self.pfa.transitions.get(state):
+                if self.on_final == "stop":
+                    break
+                restarts += 1
+                state = self.pfa.start
+                states.append(state)
+                continue
+            transition = self._choose(state)
+            symbols.append(transition.symbol)
+            log_probability += math.log(transition.probability)
+            state = transition.target
+            states.append(state)
+        return tuple(symbols), tuple(states), log_probability, restarts
+
+
+def legacy_sample(pfa, seed, size, on_final="stop"):
+    """One-shot convenience wrapper around :class:`LegacySampler`."""
+    return LegacySampler(pfa, seed, on_final=on_final).sample(size)
+
+
+def networkx_cycle_tids(edges):
+    """The pre-PR deadlock check: rebuild a digraph from
+    ``(waiter, owner, resource)`` rows, run ``find_cycle`` and return
+    the sorted waiter tids, or ``None`` when acyclic."""
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    for waiter, owner, _resource in edges:
+        graph.add_edge(waiter, owner)
+    if not graph:
+        return None
+    try:
+        cycle = nx.find_cycle(graph)
+    except nx.NetworkXNoCycle:
+        return None
+    return tuple(sorted({edge[0] for edge in cycle}))

@@ -11,15 +11,24 @@ been produced:
 * ``on_final="restart"`` — the walk resumes from the initial state, which
   models continuous stress testing (the paper's test case 1 "continued to
   create tasks and removed them when their work was done").
+
+The walk runs over a :class:`~repro.automata.compiled.CompiledPFA`:
+per-state symbol/target/cumulative-probability rows built once, so
+``MakeChoice`` is a :func:`bisect.bisect_right` over a float tuple
+instead of re-sorting transition dicts on every step.  Seeded output is
+bit-for-bit identical to the legacy dict-walking sampler: the RNG is
+consumed once per multi-arc state, and the cumulative rows are built by
+the same left-to-right float additions the legacy linear scan performed.
 """
 
 from __future__ import annotations
 
-import math
 import random
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Literal
 
+from repro.automata.compiled import CompiledPFA
 from repro.automata.pfa import PFA, Transition
 from repro.errors import SamplingError
 
@@ -49,7 +58,8 @@ class PatternSampler:
     Parameters
     ----------
     pfa:
-        The automaton to walk.
+        The automaton to walk — a :class:`PFA`, or an already-built
+        :class:`CompiledPFA` to share one compilation across samplers.
     seed:
         Seed for the private :class:`random.Random`; runs are reproducible
         given the seed.
@@ -57,32 +67,48 @@ class PatternSampler:
         Behaviour at absorbing final states (see module docstring).
     """
 
-    pfa: PFA
+    pfa: PFA | CompiledPFA
     seed: int | None = None
     on_final: OnFinal = "stop"
     _rng: random.Random = field(init=False, repr=False)
+    _compiled: CompiledPFA = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.on_final not in ("stop", "restart"):
             raise SamplingError(f"unknown on_final mode {self.on_final!r}")
         self._rng = random.Random(self.seed)
-        if self.pfa.is_absorbing(self.pfa.start):
+        if isinstance(self.pfa, CompiledPFA):
+            self._compiled = self.pfa
+            self.pfa = self.pfa.source
+        else:
+            self._compiled = CompiledPFA.from_pfa(self.pfa)
+        if self._compiled.is_absorbing(self._compiled.start):
             raise SamplingError("PFA start state has no outgoing transitions")
 
+    @property
+    def compiled(self) -> CompiledPFA:
+        """The compiled automaton the walk runs over."""
+        return self._compiled
+
     def _choose(self, state: int) -> Transition:
-        """``MakeChoice`` of Algorithm 2: roulette-wheel selection."""
-        arcs = self.pfa.outgoing(state)
-        if not arcs:
+        """``MakeChoice`` of Algorithm 2: roulette-wheel selection.
+
+        Kept for API compatibility and the ``sample_to_final`` walk; the
+        batch hot path inlines the same index arithmetic.
+        """
+        return self._compiled.transition(state, self._choose_index(state))
+
+    def _choose_index(self, state: int) -> int:
+        compiled = self._compiled
+        count = len(compiled.symbols[state])
+        if count == 0:
             raise SamplingError(f"state {state} is absorbing")
-        if len(arcs) == 1:
-            return arcs[0]
-        pick = self._rng.random()
-        cumulative = 0.0
-        for transition in arcs:
-            cumulative += transition.probability
-            if pick < cumulative:
-                return transition
-        return arcs[-1]  # guard against floating-point undershoot
+        if count == 1:
+            return 0
+        row = compiled.cumulative[state]
+        index = bisect_right(row, self._rng.random())
+        # Guard against floating-point undershoot of the final sum.
+        return index if index < count else count - 1
 
     def sample(self, size: int) -> SampledPattern:
         """Generate one pattern with at most ``size`` symbols.
@@ -93,24 +119,42 @@ class PatternSampler:
         """
         if size < 1:
             raise SamplingError(f"pattern size must be >= 1, got {size}")
+        compiled = self._compiled
+        rows = compiled.rows
+        rand = self._rng.random
+        start = compiled.start
+        on_stop = self.on_final == "stop"
+
         symbols: list[str] = []
-        states: list[int] = [self.pfa.start]
+        states: list[int] = [start]
+        append_symbol = symbols.append
+        append_state = states.append
         log_probability = 0.0
         restarts = 0
-        state = self.pfa.start
-        while len(symbols) < size:
-            if self.pfa.is_absorbing(state):
-                if self.on_final == "stop":
+        state = start
+        remaining = size
+        while remaining:
+            count, row_symbols, row_targets, row_cumulative, row_logs = rows[
+                state
+            ]
+            if count > 1:
+                index = bisect_right(row_cumulative, rand())
+                if index == count:
+                    index -= 1
+            elif count == 1:
+                index = 0
+            else:
+                if on_stop:
                     break
                 restarts += 1
-                state = self.pfa.start
-                states.append(state)
+                state = start
+                append_state(start)
                 continue
-            transition = self._choose(state)
-            symbols.append(transition.symbol)
-            log_probability += math.log(transition.probability)
-            state = transition.target
-            states.append(state)
+            append_symbol(row_symbols[index])
+            log_probability += row_logs[index]
+            state = row_targets[index]
+            append_state(state)
+            remaining -= 1
         return SampledPattern(
             symbols=tuple(symbols),
             states=tuple(states),
@@ -127,21 +171,20 @@ class PatternSampler:
     def sample_to_final(self, max_size: int = 10_000) -> SampledPattern:
         """Walk until an absorbing final state is reached (a complete task
         life cycle), or raise if ``max_size`` symbols pass without one."""
-        import math
-
+        compiled = self._compiled
         symbols: list[str] = []
-        states: list[int] = [self.pfa.start]
+        states: list[int] = [compiled.start]
         log_probability = 0.0
-        state = self.pfa.start
-        while not self.pfa.is_absorbing(state):
+        state = compiled.start
+        while not compiled.is_absorbing(state):
             if len(symbols) >= max_size:
                 raise SamplingError(
                     f"no final state reached within {max_size} symbols"
                 )
-            transition = self._choose(state)
-            symbols.append(transition.symbol)
-            log_probability += math.log(transition.probability)
-            state = transition.target
+            index = self._choose_index(state)
+            symbols.append(compiled.symbols[state][index])
+            log_probability += compiled.log_probs[state][index]
+            state = compiled.targets[state][index]
             states.append(state)
         return SampledPattern(
             symbols=tuple(symbols),

@@ -16,13 +16,20 @@ from repro.errors import KernelError
 
 @dataclass
 class KMutex:
-    """A non-recursive, owned, mutually-exclusive resource."""
+    """A non-recursive, owned, mutually-exclusive resource.
+
+    ``version`` increments on every change to ``owner`` or ``waiters``;
+    the bug detector's incrementally maintained wait-for graph uses it
+    to skip resources whose edges cannot have moved since its last
+    sweep.
+    """
 
     name: str
     owner: int | None = None  # tid of the holding task
     waiters: list[int] = field(default_factory=list)
     acquisitions: int = 0
     contentions: int = 0
+    version: int = 0
 
     def try_acquire(self, tid: int) -> bool:
         """Acquire for ``tid``; on failure the caller blocks and we queue
@@ -30,6 +37,7 @@ class KMutex:
         if self.owner is None:
             self.owner = tid
             self.acquisitions += 1
+            self.version += 1
             return True
         if self.owner == tid:
             raise KernelError(
@@ -37,6 +45,7 @@ class KMutex:
             )
         if tid not in self.waiters:
             self.waiters.append(tid)
+            self.version += 1
         self.contentions += 1
         return False
 
@@ -48,6 +57,7 @@ class KMutex:
                 f"task {tid} releasing mutex {self.name} owned by "
                 f"{self.owner}"
             )
+        self.version += 1
         if self.waiters:
             self.owner = self.waiters.pop(0)
             self.acquisitions += 1
@@ -59,6 +69,7 @@ class KMutex:
         """Remove a tid from the wait queue (task deleted while blocked)."""
         if tid in self.waiters:
             self.waiters.remove(tid)
+            self.version += 1
 
     def forfeit(self, tid: int) -> int | None:
         """Owner died without releasing; promote the next waiter.
@@ -69,6 +80,7 @@ class KMutex:
         """
         if self.owner != tid:
             return None
+        self.version += 1
         if self.waiters:
             self.owner = self.waiters.pop(0)
             self.acquisitions += 1

@@ -1,0 +1,38 @@
+"""Synchronous kernel-service helpers for tests and examples.
+
+These used to live in ``tests/conftest.py``, but plain ``from conftest
+import ...`` statements resolve against whichever ``conftest`` module
+pytest happened to import first (``benchmarks/conftest.py`` collides
+with ``tests/conftest.py`` under rootdir sys.path insertion).  Living
+in the package proper makes them importable from anywhere — tests,
+benches, notebooks — without that ambiguity.
+"""
+
+from __future__ import annotations
+
+from repro.pcore.kernel import PCoreKernel
+from repro.pcore.services import ServiceCode, ServiceRequest, ServiceResult
+
+
+def create_task(
+    kernel: PCoreKernel,
+    priority: int,
+    program: str = "idle",
+    target: int | None = None,
+) -> ServiceResult:
+    """Run a TC service directly and return its result."""
+    return kernel.execute_service(
+        ServiceRequest(
+            service=ServiceCode.TC,
+            target=target,
+            priority=priority,
+            program=program,
+        )
+    )
+
+
+def run_service(
+    kernel: PCoreKernel, service: ServiceCode, **kwargs
+) -> ServiceResult:
+    """Execute any service synchronously."""
+    return kernel.execute_service(ServiceRequest(service=service, **kwargs))

@@ -36,6 +36,8 @@ from repro.ptest.report import BugReport
 from repro.ptest.harness import AdaptiveTest, TestRunResult, run_adaptive_test
 from repro.ptest.shrink import PatternShrinker, ShrinkResult, truncate_merged
 from repro.ptest.campaign import Campaign, CampaignRow, compare_ops
+from repro.ptest.executor import CellExecutor, WorkCell, run_cell
+from repro.ptest.waitgraph import IncrementalWaitForGraph, find_cycle_edges
 from repro.ptest.replay import parse_merged_description, replay_report_dict
 from repro.ptest.pcore_model import (
     PCORE_REGULAR_EXPRESSION,
@@ -71,6 +73,11 @@ __all__ = [
     "Campaign",
     "CampaignRow",
     "compare_ops",
+    "CellExecutor",
+    "WorkCell",
+    "run_cell",
+    "IncrementalWaitForGraph",
+    "find_cycle_edges",
     "parse_merged_description",
     "replay_report_dict",
     "PCORE_REGULAR_EXPRESSION",

@@ -13,9 +13,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.ptest.detector import AnomalyKind
+from repro.ptest.executor import CellExecutor, ScenarioBuilder, WorkCell
 from repro.ptest.harness import AdaptiveTest, TestRunResult
-
-ScenarioBuilder = Callable[[int], AdaptiveTest]
 
 
 @dataclass(frozen=True)
@@ -36,24 +35,50 @@ class CampaignRow:
 
 @dataclass
 class Campaign:
-    """A named set of scenario variants, each swept over seeds."""
+    """A named set of scenario variants, each swept over seeds.
+
+    ``workers`` sets the default parallelism of :meth:`run`: ``1`` runs
+    every (variant, seed) cell serially in this process, ``n > 1`` fans
+    the cells out over a process pool (see
+    :class:`~repro.ptest.executor.CellExecutor`).  Cells are
+    independent — each run derives all its randomness from its own
+    seed — and results are aggregated in submission order, so the
+    summary rows are identical at any worker count.  Builders that
+    cannot be pickled (lambdas, closures) fall back to the serial path
+    with a :class:`RuntimeWarning`.
+    """
 
     seeds: Iterable[int] = (0, 1, 2, 3, 4)
     variants: dict[str, ScenarioBuilder] = field(default_factory=dict)
     results: dict[str, list[TestRunResult]] = field(default_factory=dict)
+    workers: int = 1
 
     def add_variant(self, name: str, builder: ScenarioBuilder) -> None:
         if name in self.variants:
             raise ValueError(f"variant {name!r} already registered")
         self.variants[name] = builder
 
-    def run(self) -> list[CampaignRow]:
-        """Execute every variant over every seed; returns summary rows."""
+    def run(self, workers: int | None = None) -> list[CampaignRow]:
+        """Execute every variant over every seed; returns summary rows.
+
+        ``workers`` overrides the campaign default for this call.
+        """
+        effective = self.workers if workers is None else workers
+        cells = [
+            WorkCell(variant=name, seed=seed)
+            for name in self.variants
+            for seed in self.seeds
+        ]
+        outcomes = CellExecutor(workers=effective).run_cells(
+            self.variants, cells
+        )
         rows = []
-        for name, builder in self.variants.items():
-            runs: list[TestRunResult] = []
-            for seed in self.seeds:
-                runs.append(builder(seed).run())
+        for name in self.variants:
+            runs = [
+                outcome
+                for cell, outcome in zip(cells, outcomes)
+                if cell.variant == name
+            ]
             self.results[name] = runs
             rows.append(self._summarise(name, runs))
         return rows

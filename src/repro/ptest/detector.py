@@ -21,7 +21,10 @@ classes:
 The detector "is run as a new process" in the paper; here it is a
 component swept every ``interval`` ticks by the harness, which is the
 same observational model (sampled, concurrent monitoring) without host
-processes.  Wait-for cycles are found with :mod:`networkx`.
+processes.  Wait-for cycles are tracked by an incrementally maintained
+:class:`~repro.ptest.waitgraph.IncrementalWaitForGraph`: mutex
+``version`` counters tell a sweep which resources' edges moved, and the
+cycle search itself runs only when some edge actually changed.
 """
 
 from __future__ import annotations
@@ -29,12 +32,11 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-import networkx as nx
-
 from repro.bridge.bridge import BridgeMaster
 from repro.pcore.kernel import PCoreKernel
 from repro.pcore.tcb import TaskState
 from repro.ptest.recording import ProcessStateRecorder
+from repro.ptest.waitgraph import IncrementalWaitForGraph
 from repro.sim.trace import CATEGORY_DETECTOR, Tracer
 
 
@@ -86,6 +88,9 @@ class BugDetector:
     tracer: Tracer | None = None
     anomalies: list[Anomaly] = field(default_factory=list)
     sweeps: int = 0
+    waitgraph: IncrementalWaitForGraph = field(
+        default_factory=IncrementalWaitForGraph
+    )
     _last_cycle: tuple[int, ...] = ()
     _cycle_streak: int = 0
     _reported: set[tuple] = field(default_factory=set)
@@ -144,19 +149,9 @@ class BugDetector:
         )
 
     def _check_deadlock(self, now: int) -> list[Anomaly]:
-        edges = self.kernel.wait_for_edges()
-        if not edges:
-            self._cycle_streak = 0
-            self._last_cycle = ()
-            return []
-        graph = nx.DiGraph()
-        resource_of: dict[tuple[int, int], str] = {}
-        for waiter, owner, resource in edges:
-            graph.add_edge(waiter, owner)
-            resource_of[(waiter, owner)] = resource
-        try:
-            cycle_edges = nx.find_cycle(graph)
-        except nx.NetworkXNoCycle:
+        self.waitgraph.refresh(self.kernel.resources)
+        cycle_edges = self.waitgraph.find_cycle()
+        if cycle_edges is None:
             self._cycle_streak = 0
             self._last_cycle = ()
             return []
@@ -169,7 +164,8 @@ class BugDetector:
         if self._cycle_streak < self.config.deadlock_confirmations:
             return []
         resources = tuple(
-            resource_of[(waiter, owner)] for waiter, owner in cycle_edges
+            self.waitgraph.resource_of(waiter, owner)
+            for waiter, owner in cycle_edges
         )
         names = ", ".join(
             self.kernel.tasks[tid].name if tid in self.kernel.tasks else str(tid)

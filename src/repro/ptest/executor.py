@@ -1,0 +1,114 @@
+"""Work-queue execution of campaign cells.
+
+A campaign is a grid of independent *(variant, seed)* cells, each of
+which builds and runs one :class:`~repro.ptest.harness.AdaptiveTest`.
+Cells share no state — every run seeds its own RNG streams from the
+cell's seed — so they parallelise embarrassingly.
+
+:class:`CellExecutor` dispatches cells either in-process (``workers=1``,
+the deterministic serial fallback) or across a
+:class:`concurrent.futures.ProcessPoolExecutor`.  Results are returned
+keyed by cell in *submission order*, never completion order, so
+aggregation downstream is identical whichever path ran.  Builders that
+cannot cross a process boundary (lambdas, closures) are detected up
+front with a pickle probe and the executor degrades to the serial path
+instead of failing mid-campaign.
+"""
+
+from __future__ import annotations
+
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+
+if TYPE_CHECKING:  # circular at runtime: harness -> detector -> ...
+    from repro.ptest.harness import AdaptiveTest, TestRunResult
+
+ScenarioBuilder = Callable[[int], "AdaptiveTest"]
+
+
+@dataclass(frozen=True)
+class WorkCell:
+    """One (variant, seed) grid point of a campaign."""
+
+    variant: str
+    seed: int
+
+
+def run_cell(builder: ScenarioBuilder, seed: int) -> "TestRunResult":
+    """Build and run one cell (module-level so it pickles to workers)."""
+    return builder(seed).run()
+
+
+def _picklable(value: object) -> bool:
+    try:
+        pickle.dumps(value)
+    except Exception:
+        return False
+    return True
+
+
+@dataclass
+class CellExecutor:
+    """Runs campaign cells, serially or across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Degree of parallelism.  ``1`` (the default) runs every cell in
+        this process; ``n > 1`` fans cells out over up to ``n``
+        processes.  Whatever the value, results are aggregated in
+        submission order, so output is deterministic given the seeds.
+
+    After :meth:`run_cells` returns, ``ran_parallel`` records which
+    path executed — ``False`` plus a :class:`RuntimeWarning` when
+    parallelism was requested but a builder could not be pickled.
+    """
+
+    workers: int = 1
+    #: Which path the last :meth:`run_cells` took (None before any run).
+    ran_parallel: bool | None = None
+
+    def run_cells(
+        self,
+        builders: Mapping[str, ScenarioBuilder],
+        cells: Sequence[WorkCell],
+    ) -> list["TestRunResult"]:
+        """Execute ``cells``; results align with ``cells`` by position."""
+        for cell in cells:
+            if cell.variant not in builders:
+                raise KeyError(f"no builder for variant {cell.variant!r}")
+        if self.workers > 1 and len(cells) > 1:
+            if self._portable(builders):
+                self.ran_parallel = True
+                return self._run_parallel(builders, cells)
+            warnings.warn(
+                f"workers={self.workers} requested but a scenario builder "
+                "cannot be pickled (lambda/closure?); running cells "
+                "serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        self.ran_parallel = False
+        return [
+            run_cell(builders[cell.variant], cell.seed) for cell in cells
+        ]
+
+    def _portable(self, builders: Mapping[str, ScenarioBuilder]) -> bool:
+        """Whether every builder can be shipped to a worker process."""
+        return all(_picklable(builder) for builder in builders.values())
+
+    def _run_parallel(
+        self,
+        builders: Mapping[str, ScenarioBuilder],
+        cells: Sequence[WorkCell],
+    ) -> list["TestRunResult"]:
+        max_workers = min(self.workers, len(cells))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(run_cell, builders[cell.variant], cell.seed)
+                for cell in cells
+            ]
+            return [future.result() for future in futures]

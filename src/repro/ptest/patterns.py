@@ -36,6 +36,9 @@ class TestPattern:
     states: tuple[int, ...] = ()
     log_probability: float = 0.0
 
+    #: Not a pytest test class despite the ``Test`` prefix.
+    __test__ = False
+
     def __post_init__(self) -> None:
         if self.pattern_id < 0:
             raise ConfigError(f"pattern_id must be >= 0, got {self.pattern_id}")

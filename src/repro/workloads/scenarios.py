@@ -140,6 +140,27 @@ def philosophers_programs(count: int = 3, ordered: bool = False) -> dict:
     }
 
 
+def build_philosophers_ptest(seed: int) -> AdaptiveTest:
+    """Picklable campaign builder: pTest (cyclic op) on test case 2.
+
+    Module-level so :class:`~repro.ptest.executor.CellExecutor` can
+    ship it to worker processes; shared by the comparison bench and
+    ``examples/baseline_comparison.py``.
+    """
+    return philosophers_case2(seed=seed, op="cyclic")
+
+
+def build_philosophers_random(seed: int):
+    """Picklable campaign builder: ConTest-style random noise on the
+    philosophers scenario (same fault, unstructured interleaving)."""
+    from repro.baselines.random_tester import RandomTester
+
+    scenario = philosophers_case2(seed=seed)
+    return RandomTester(
+        config=scenario.config, programs=dict(scenario.programs)
+    )
+
+
 def priority_inversion_scenario(
     seed: int = 0,
     inheritance: bool = False,

@@ -6,7 +6,6 @@ import pytest
 
 from repro.automata.pfa import PFA, Transition
 from repro.pcore.kernel import KernelConfig, PCoreKernel
-from repro.pcore.services import ServiceCode, ServiceRequest
 from repro.sim.memory import SharedMemory
 
 
@@ -42,25 +41,3 @@ def kernel() -> PCoreKernel:
     )
 
 
-def create_task(
-    kernel: PCoreKernel,
-    priority: int,
-    program: str = "idle",
-    target: int | None = None,
-):
-    """Helper: run a TC service directly and return its result."""
-    return kernel.execute_service(
-        ServiceRequest(
-            service=ServiceCode.TC,
-            target=target,
-            priority=priority,
-            program=program,
-        )
-    )
-
-
-def run_service(kernel: PCoreKernel, service: ServiceCode, **kwargs):
-    """Helper: execute any service synchronously."""
-    return kernel.execute_service(
-        ServiceRequest(service=service, **kwargs)
-    )

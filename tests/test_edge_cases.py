@@ -15,7 +15,7 @@ from repro.ptest.merger import PatternMerger
 from repro.ptest.patterns import TestPattern
 from repro.sim.mailbox import MailboxBank
 
-from conftest import create_task, run_service
+from repro.pcore.testkit import create_task, run_service
 
 
 class TestErrorHierarchy:

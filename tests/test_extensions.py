@@ -13,7 +13,7 @@ from repro.pcore.services import ServiceCode
 from repro.pcore.tcb import TaskState
 from repro.sim.memory import SharedMemory
 
-from conftest import create_task, run_service
+from repro.pcore.testkit import create_task, run_service
 
 
 def fresh_kernel(**config_kwargs) -> PCoreKernel:

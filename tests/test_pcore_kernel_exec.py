@@ -20,7 +20,7 @@ from repro.pcore.services import ServiceCode, ServiceStatus
 from repro.pcore.tcb import TaskState
 from repro.sim.memory import SharedMemory
 
-from conftest import create_task, run_service
+from repro.pcore.testkit import create_task, run_service
 
 
 def run_steps(kernel: PCoreKernel, count: int, start: int = 0) -> int:

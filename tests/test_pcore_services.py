@@ -12,7 +12,7 @@ from repro.pcore.services import (
 )
 from repro.pcore.tcb import TaskState
 
-from conftest import create_task, run_service
+from repro.pcore.testkit import create_task, run_service
 
 
 class TestTableI:

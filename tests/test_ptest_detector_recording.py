@@ -15,7 +15,7 @@ from repro.ptest.patterns import TestPattern
 from repro.ptest.recording import ProcessStateRecorder, StateRecord
 from repro.sim.mailbox import MailboxBank
 
-from conftest import create_task, run_service
+from repro.pcore.testkit import create_task, run_service
 
 
 def make_detector(kernel=None, **config_kwargs):

@@ -16,7 +16,7 @@ from repro.workloads.barrier import (
 )
 from repro.workloads.scenarios import philosophers_case2
 
-from conftest import create_task
+from repro.pcore.testkit import create_task
 
 
 class TestParseMergedDescription:

@@ -28,7 +28,7 @@ from repro.workloads.readers_writers import (
     make_writer_program,
 )
 
-from conftest import create_task
+from repro.pcore.testkit import create_task
 
 
 def fresh_kernel() -> PCoreKernel:
