@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import os
 import statistics
-from functools import partial
 
 from repro.ptest.campaign import Campaign
 from repro.ptest.detector import AnomalyKind
@@ -26,21 +25,15 @@ WORKERS = min(4, os.cpu_count() or 1)
 
 def test_case2_philosophers(benchmark, emit):
     # One campaign over every (op, seed) cell, dispatched through the
-    # work-queue executor; a second, tiny one for the ordered controls.
-    sweep = Campaign(
-        seeds=tuple(SEEDS),
-        variants={op: partial(philosophers_case2, op=op) for op in OPS},
-        workers=WORKERS,
-    )
+    # batched work-queue executor as registry ScenarioRef variants; a
+    # second, tiny one for the ordered controls.
+    sweep = Campaign(seeds=tuple(SEEDS), workers=WORKERS)
+    for op in OPS:
+        sweep.add_scenario(op, "philosophers", op=op)
     sweep.run()
-    controls = Campaign(
-        seeds=(0,),
-        variants={
-            op: partial(philosophers_case2, op=op, ordered=True)
-            for op in OPS
-        },
-        workers=WORKERS,
-    )
+    controls = Campaign(seeds=(0,), workers=WORKERS)
+    for op in OPS:
+        controls.add_scenario(op, "philosophers", op=op, ordered=True)
     controls.run()
 
     rows = []

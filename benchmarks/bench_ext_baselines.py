@@ -17,12 +17,7 @@ from repro.baselines.systematic import SystematicExplorer, interleavings
 from repro.ptest.campaign import Campaign
 from repro.ptest.generator import PatternGenerator
 from repro.ptest.patterns import TestPattern
-from repro.workloads.scenarios import (
-    build_philosophers_ptest,
-    build_philosophers_random,
-    lifecycle_pfa,
-    philosophers_case2,
-)
+from repro.workloads.scenarios import lifecycle_pfa, philosophers_case2
 
 from conftest import format_table
 
@@ -31,15 +26,11 @@ WORKERS = min(4, os.cpu_count() or 1)
 
 
 def _sweep_rows():
-    """pTest and random sweeps dispatched through the campaign executor."""
-    campaign = Campaign(
-        seeds=tuple(SEEDS),
-        variants={
-            "ptest": build_philosophers_ptest,
-            "random": build_philosophers_random,
-        },
-        workers=WORKERS,
-    )
+    """pTest and random sweeps dispatched through the campaign executor
+    as registry ScenarioRef variants (always process-pool portable)."""
+    campaign = Campaign(seeds=tuple(SEEDS), workers=WORKERS)
+    campaign.add_scenario("ptest", "philosophers", op="cyclic")
+    campaign.add_scenario("random", "philosophers_random")
     campaign.run()
     labels = {
         "ptest": "pTest (adaptive)",

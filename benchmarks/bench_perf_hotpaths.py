@@ -10,7 +10,11 @@ Times, on this machine:
 2. **Campaign throughput** — (variant, seed) cells/sec of the
    philosophers sweep run serially vs. through the process-pool
    executor (``--workers``, default 4).
-3. **Deadlock detection** — detector sweeps/sec of the legacy
+3. **Batched campaign dispatch** — cells/sec of the process-pool
+   executor submitting one cell per future vs. batching many cells per
+   worker submission (the sub-10ms-cell amortisation lever), on the
+   registry's ``clean_spin`` workload.
+4. **Deadlock detection** — detector sweeps/sec of the legacy
    networkx-rebuild check vs. the incremental wait-for graph, in the
    steady state where mutex ownership is not changing (the common case
    between interleavings).
@@ -31,7 +35,6 @@ import os
 import platform
 import sys
 import time
-from functools import partial
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -43,9 +46,10 @@ from repro.pcore.programs import Acquire, Compute, Exit
 from repro.pcore.services import ServiceCode
 from repro.pcore.testkit import create_task, run_service
 from repro.ptest.campaign import Campaign
+from repro.ptest.executor import CellExecutor, WorkCell
 from repro.ptest.pcore_model import pcore_pfa
 from repro.ptest.waitgraph import IncrementalWaitForGraph
-from repro.workloads.scenarios import philosophers_case2
+from repro.workloads.registry import scenario_ref
 
 OUT_PATH = Path(__file__).parent / "out" / "bench_perf_hotpaths.json"
 
@@ -99,15 +103,11 @@ def bench_sampling(quick: bool) -> dict:
 
 
 def _philosophers_campaign(seeds, workers) -> Campaign:
-    return Campaign(
-        seeds=tuple(seeds),
-        variants={
-            "cyclic": partial(philosophers_case2, op="cyclic"),
-            "round_robin": partial(philosophers_case2, op="round_robin"),
-            "ordered": partial(philosophers_case2, ordered=True),
-        },
-        workers=workers,
-    )
+    campaign = Campaign(seeds=tuple(seeds), workers=workers)
+    campaign.add_scenario("cyclic", "philosophers", op="cyclic")
+    campaign.add_scenario("round_robin", "philosophers", op="round_robin")
+    campaign.add_scenario("ordered", "philosophers", ordered=True)
+    return campaign
 
 
 def bench_campaign(quick: bool, workers: int) -> dict:
@@ -128,6 +128,58 @@ def bench_campaign(quick: bool, workers: int) -> dict:
         "serial_cells_per_sec": round(cells / serial, 2),
         "parallel_cells_per_sec": round(cells / parallel, 2),
         "speedup": round(serial / parallel, 2),
+    }
+
+
+# -- layer 2b: batched dispatch ------------------------------------------------
+
+
+def bench_campaign_batched(quick: bool, workers: int) -> dict:
+    """Per-cell vs batched pool submission on sub-10ms clean cells.
+
+    Uses the registry's ``clean_spin`` scenario (tiny, detection-free
+    cells) so the submission overhead — what batching amortises — is
+    the dominant cost either way.
+    """
+    cell_count = 64 if quick else 192
+    reps = 3
+    # Tiny cells (sub-2ms) so submission overhead — what batching
+    # amortises — dominates; larger cells would just hide the effect.
+    variants = {
+        "spin": scenario_ref(
+            "clean_spin", tasks=2, total_steps=40 if quick else 80
+        )
+    }
+    cells = [WorkCell(variant="spin", seed=seed) for seed in range(cell_count)]
+
+    def timed(executor: CellExecutor) -> tuple[float, list]:
+        start = time.perf_counter()
+        results = executor.run_cells(variants, cells)
+        return cell_count / (time.perf_counter() - start), results
+
+    per_cell = CellExecutor(workers=workers, batch_size=1)
+    batched = CellExecutor(workers=workers)
+    per_cell_rate = batched_rate = 0.0
+    per_cell_results = batched_results = []
+    # Interleave the reps so machine-load drift hits both paths alike.
+    for _ in range(reps):
+        rate, per_cell_results = timed(per_cell)
+        per_cell_rate = max(per_cell_rate, rate)
+        rate, batched_results = timed(batched)
+        batched_rate = max(batched_rate, rate)
+    batch_size = batched.last_batch_size or 1
+    # Correctness guard: batching must not change any cell's outcome.
+    assert [r.ticks for r in batched_results] == [
+        r.ticks for r in per_cell_results
+    ], "batched execution diverged from per-cell execution"
+    assert not any(r.found_bug for r in batched_results)
+    return {
+        "cells": cell_count,
+        "workers": workers,
+        "batch_size": batch_size,
+        "per_cell_cells_per_sec": round(per_cell_rate, 2),
+        "batched_cells_per_sec": round(batched_rate, 2),
+        "speedup": round(batched_rate / per_cell_rate, 2),
     }
 
 
@@ -230,6 +282,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         "sampling": bench_sampling(args.quick),
         "campaign": bench_campaign(args.quick, args.workers),
+        "campaign_batched": bench_campaign_batched(args.quick, args.workers),
         "detector": bench_detector(args.quick),
     }
     # Targets are the PR-1 acceptance goals; floors are what CI
@@ -241,6 +294,12 @@ def main(argv: list[str] | None = None) -> int:
         "campaign_speedup_target": 2.0,
         "campaign_speedup_met": results["campaign"]["speedup"] >= 2.0,
         "campaign_ci_floor": None,  # not gated: needs multi-core hardware
+        # Batching amortises per-submission overhead, so it must never
+        # be slower than per-cell dispatch, core count regardless.
+        "campaign_batched_ci_floor": 1.0,
+        "campaign_batched_floor_met": (
+            results["campaign_batched"]["speedup"] >= 1.0
+        ),
         "detector_ci_floor": 5.0,
         "detector_floor_met": results["detector"]["speedup"] >= 5.0,
         "note": (
@@ -252,9 +311,10 @@ def main(argv: list[str] | None = None) -> int:
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(results, indent=2) + "\n")
 
-    sampling, campaign, detector = (
+    sampling, campaign, batched, detector = (
         results["sampling"],
         results["campaign"],
+        results["campaign_batched"],
         results["detector"],
     )
     print("== perf hot paths ==")
@@ -267,6 +327,11 @@ def main(argv: list[str] | None = None) -> int:
         f"campaign:  {campaign['serial_cells_per_sec']:>10.2f} -> "
         f"{campaign['parallel_cells_per_sec']:>10.2f} cells/s     "
         f"({campaign['speedup']}x at workers={campaign['workers']})"
+    )
+    print(
+        f"batching:  {batched['per_cell_cells_per_sec']:>10.2f} -> "
+        f"{batched['batched_cells_per_sec']:>10.2f} cells/s     "
+        f"({batched['speedup']}x at batch_size={batched['batch_size']})"
     )
     print(
         f"detector:  {detector['rebuild_sweeps_per_sec']:>10.0f} -> "

@@ -8,8 +8,9 @@ and prints detection rate, commands spent, and wasted (error-reply)
 commands.
 
 The pTest and random sweeps dispatch through
-:class:`~repro.ptest.campaign.Campaign`'s work-queue executor, so on a
-multi-core machine the (variant, seed) cells run in parallel; pass
+:class:`~repro.ptest.campaign.Campaign`'s batched work-queue executor
+as registry :class:`~repro.workloads.registry.ScenarioRef` variants, so
+on a multi-core machine the (variant, seed) cells run in parallel; pass
 ``--workers 1`` to force the serial path (results are identical either
 way).
 
@@ -28,26 +29,16 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.baselines.systematic import SystematicExplorer
 from repro.ptest.campaign import Campaign
 from repro.ptest.generator import PatternGenerator
-from repro.workloads.scenarios import (
-    build_philosophers_ptest,
-    build_philosophers_random,
-    lifecycle_pfa,
-    philosophers_case2,
-)
+from repro.workloads.scenarios import lifecycle_pfa, philosophers_case2
 
 SEEDS = tuple(range(5))
 
 
 def run_sweeps(workers: int) -> dict[str, tuple[int, int, int]]:
     """pTest and random sweeps as one campaign over the executor."""
-    campaign = Campaign(
-        seeds=SEEDS,
-        variants={
-            "ptest": build_philosophers_ptest,
-            "random": build_philosophers_random,
-        },
-        workers=workers,
-    )
+    campaign = Campaign(seeds=SEEDS, workers=workers)
+    campaign.add_scenario("ptest", "philosophers", op="cyclic")
+    campaign.add_scenario("random", "philosophers_random")
     campaign.run()
     summary = {}
     for variant, runs in campaign.results.items():

@@ -3,7 +3,13 @@
 Commands mirror the examples so the tool is usable without writing
 Python:
 
-``run``            an adaptive stress test with explicit (n, s, op, seed)
+``run``            an adaptive stress test — either a registered
+                   scenario by name (``run philosophers -p op=cyclic``)
+                   or the explicit (n, s, op, seed) form
+``campaign``       sweep a registered scenario over seeds (and an
+                   optional parameter grid) through the batched
+                   process-pool executor
+``scenarios``      list the scenario registry with parameter specs
 ``stress``         test case 1 (GC crash, with --fixed-gc control)
 ``philosophers``   test case 2 (deadlock, choose --op / --ordered)
 ``fig1``           the Fig. 1 example (--order good|bad)
@@ -16,11 +22,13 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.errors import ConfigError, ReproError
 from repro.faults import FAULT_CATALOGUE, build_fault_scenario, fault_names
 from repro.ptest.config import PTestConfig
 from repro.ptest.harness import run_adaptive_test
 from repro.ptest.merger import MERGE_OPS
 from repro.workloads.fig1 import run_fig1
+from repro.workloads.registry import REGISTRY, build_scenario
 from repro.workloads.scenarios import philosophers_case2, stress_case1
 
 
@@ -32,16 +40,122 @@ def _print_result(result) -> int:
     return 0
 
 
+def _parse_params(pairs: list[str] | None) -> dict[str, str]:
+    """``key=value`` strings -> param mapping (registry coerces types)."""
+    params: dict[str, str] = {}
+    for pair in pairs or []:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ConfigError(
+                f"malformed parameter {pair!r}; expected key=value"
+            )
+        params[key] = value
+    return params
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    explicit_flags = {
+        "--patterns/-n": args.patterns,
+        "--size/-s": args.size,
+        "--op": args.op,
+        "--max-ticks": args.max_ticks,
+    }
+    if args.scenario is not None:
+        # The explicit-form flags do not apply to a registered scenario
+        # (its parameters travel via --param); reject rather than
+        # silently ignore them.
+        given = [flag for flag, value in explicit_flags.items() if value is not None]
+        if given:
+            print(
+                f"{', '.join(given)} only apply to the explicit form; "
+                f"use --param to parameterise scenario {args.scenario!r} "
+                "(see `repro scenarios`)"
+            )
+            return 2
+        try:
+            test = build_scenario(
+                args.scenario, args.seed, **_parse_params(args.param)
+            )
+        except ReproError as error:
+            # Unknown scenario, bad param, or a builder rejecting an
+            # out-of-range value — never exit 1 (that means "bug found").
+            print(error)
+            return 2
+        print(f"scenario: {args.scenario} seed={args.seed}")
+        return _print_result(test.run())
+    if args.param:
+        print("--param requires a scenario name (see `repro scenarios`)")
+        return 2
+    # Omit flags the user left unset so PTestConfig's own defaults apply.
+    overrides = {
+        "pattern_count": args.patterns,
+        "pattern_size": args.size,
+        "op": args.op,
+        "max_ticks": args.max_ticks,
+    }
     config = PTestConfig(
-        pattern_count=args.patterns,
-        pattern_size=args.size,
-        op=args.op,
         seed=args.seed,
-        max_ticks=args.max_ticks,
+        **{key: value for key, value in overrides.items() if value is not None},
     )
     print(f"adaptive test: {config.describe()}")
     return _print_result(run_adaptive_test(config))
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.analysis.text_report import render_campaign
+    from repro.ptest.campaign import Campaign
+
+    campaign = Campaign(
+        seeds=tuple(range(args.seeds)),
+        workers=args.workers,
+        batch_size=args.batch_size,
+        keep_results=False,
+    )
+    try:
+        fixed = _parse_params(args.param)
+        if args.grid:
+            grid: dict[str, list[str]] = {}
+            for pair in args.grid:
+                key, sep, values = pair.partition("=")
+                if not sep or not key or not values:
+                    raise ConfigError(
+                        f"malformed grid {pair!r}; expected key=v1,v2,..."
+                    )
+                if key in grid:
+                    raise ConfigError(
+                        f"grid parameter {key!r} given more than once"
+                    )
+                grid[key] = values.split(",")
+            campaign.add_grid(args.scenario, args.scenario, grid, **fixed)
+        else:
+            campaign.add_scenario(args.scenario, args.scenario, **fixed)
+    except (ReproError, ValueError) as error:
+        # ValueError covers duplicate variant names (e.g. a repeated
+        # grid value); ReproError covers registry/param problems.
+        print(error)
+        return 2
+    try:
+        rows = campaign.run()
+    except (ReproError, ValueError) as error:
+        # e.g. batch_size < 1, or a builder rejecting a param value at
+        # cell-build time — config problems, not found bugs.
+        print(error)
+        return 2
+    print(
+        f"campaign: {args.scenario} over {args.seeds} seed(s), "
+        f"workers={args.workers}"
+        + (f", batch_size={args.batch_size}" if args.batch_size else "")
+    )
+    print(render_campaign(rows))
+    return 0
+
+
+def _cmd_scenarios(_args: argparse.Namespace) -> int:
+    for spec in REGISTRY:
+        print(spec.describe())
+        if spec.description:
+            print(f"    {spec.description}")
+    return 0
 
 
 def _cmd_stress(args: argparse.Namespace) -> int:
@@ -108,12 +222,62 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_p = sub.add_parser("run", help="run an adaptive stress test")
-    run_p.add_argument("--patterns", "-n", type=int, default=4)
-    run_p.add_argument("--size", "-s", type=int, default=8)
-    run_p.add_argument("--op", choices=sorted(MERGE_OPS), default="round_robin")
+    run_p.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="registered scenario name (see `scenarios`); omit for the "
+        "explicit (n, s, op) form",
+    )
+    run_p.add_argument(
+        "--param",
+        "-p",
+        action="append",
+        metavar="KEY=VALUE",
+        help="scenario parameter override (repeatable)",
+    )
+    # Explicit-form flags default to None so the scenario form can tell
+    # "flag given" from "default" and reject the combination.
+    run_p.add_argument("--patterns", "-n", type=int, default=None)
+    run_p.add_argument("--size", "-s", type=int, default=None)
+    run_p.add_argument("--op", choices=sorted(MERGE_OPS), default=None)
     run_p.add_argument("--seed", type=int, default=0)
-    run_p.add_argument("--max-ticks", type=int, default=20_000)
+    run_p.add_argument("--max-ticks", type=int, default=None)
     run_p.set_defaults(func=_cmd_run)
+
+    campaign_p = sub.add_parser(
+        "campaign", help="sweep a registered scenario over seeds"
+    )
+    campaign_p.add_argument("scenario", help="registered scenario name")
+    campaign_p.add_argument("--seeds", type=int, default=5)
+    campaign_p.add_argument("--workers", type=int, default=1)
+    campaign_p.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="cells per worker submission (default: auto)",
+    )
+    campaign_p.add_argument(
+        "--param",
+        "-p",
+        action="append",
+        metavar="KEY=VALUE",
+        help="fixed scenario parameter (repeatable)",
+    )
+    campaign_p.add_argument(
+        "--grid",
+        "-g",
+        action="append",
+        metavar="KEY=V1,V2,...",
+        help="sweep a parameter over several values (repeatable; "
+        "variants are the cartesian product)",
+    )
+    campaign_p.set_defaults(func=_cmd_campaign)
+
+    scenarios_p = sub.add_parser(
+        "scenarios", help="list the scenario registry"
+    )
+    scenarios_p.set_defaults(func=_cmd_scenarios)
 
     stress_p = sub.add_parser("stress", help="test case 1 (GC crash)")
     stress_p.add_argument("--seed", type=int, default=0)

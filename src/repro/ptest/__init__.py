@@ -36,7 +36,14 @@ from repro.ptest.report import BugReport
 from repro.ptest.harness import AdaptiveTest, TestRunResult, run_adaptive_test
 from repro.ptest.shrink import PatternShrinker, ShrinkResult, truncate_merged
 from repro.ptest.campaign import Campaign, CampaignRow, compare_ops
-from repro.ptest.executor import CellExecutor, WorkCell, run_cell
+from repro.ptest.executor import (
+    CellExecutor,
+    CollectSink,
+    ResultSink,
+    WorkCell,
+    run_cell,
+    run_cell_batch,
+)
 from repro.ptest.waitgraph import IncrementalWaitForGraph, find_cycle_edges
 from repro.ptest.replay import parse_merged_description, replay_report_dict
 from repro.ptest.pcore_model import (
@@ -74,8 +81,11 @@ __all__ = [
     "CampaignRow",
     "compare_ops",
     "CellExecutor",
+    "CollectSink",
+    "ResultSink",
     "WorkCell",
     "run_cell",
+    "run_cell_batch",
     "IncrementalWaitForGraph",
     "find_cycle_edges",
     "parse_merged_description",

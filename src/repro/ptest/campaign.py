@@ -1,20 +1,34 @@
 """Test campaigns: sweeps of adaptive-test runs with aggregation.
 
-A campaign runs a scenario builder across seeds (and optionally across
-parameter variants), collects every run's outcome and produces summary
-rows — the machinery behind the comparison benches, exposed as a public
-API so downstream users can script their own studies.
+A campaign runs scenario variants across seeds, aggregates every run's
+outcome *incrementally* as results stream off the executor, and
+produces summary rows — the machinery behind the comparison benches,
+exposed as a public API so downstream users can script their own
+studies.
+
+Variants are either raw builders (``builder(seed) -> AdaptiveTest``)
+or, preferably, :class:`~repro.workloads.registry.ScenarioRef` values
+added via :meth:`Campaign.add_scenario` /
+:meth:`Campaign.add_grid` — refs are picklable by construction, so a
+ref-only campaign always qualifies for process-pool dispatch.
 """
 
 from __future__ import annotations
 
-import statistics
+import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
+from repro.errors import ConfigError
 from repro.ptest.detector import AnomalyKind
-from repro.ptest.executor import CellExecutor, ScenarioBuilder, WorkCell
+from repro.ptest.executor import (
+    CellExecutor,
+    ResultSink,
+    ScenarioBuilder,
+    WorkCell,
+)
 from repro.ptest.harness import AdaptiveTest, TestRunResult
+from repro.workloads.registry import ScenarioRef, scenario_ref
 
 
 @dataclass(frozen=True)
@@ -34,34 +48,151 @@ class CampaignRow:
 
 
 @dataclass
+class _RowAccumulator:
+    """Streams one variant's results into a :class:`CampaignRow`.
+
+    Keeps only counters and sums, never the results themselves, so a
+    ``keep_results=False`` campaign aggregates arbitrarily many cells
+    in O(variants) memory.
+    """
+
+    variant: str
+    runs: int = 0
+    detections: int = 0
+    kind_counts: dict[str, int] = field(default_factory=dict)
+    ticks_sum: int = 0
+    commands_sum: int = 0
+
+    def add(self, result: TestRunResult) -> None:
+        self.runs += 1
+        self.commands_sum += result.commands_issued
+        if result.found_bug:
+            self.detections += 1
+            kind = result.report.primary.kind.value
+            self.kind_counts[kind] = self.kind_counts.get(kind, 0) + 1
+            self.ticks_sum += result.report.primary.detected_at
+
+    def row(self) -> CampaignRow:
+        return CampaignRow(
+            variant=self.variant,
+            runs=self.runs,
+            detections=self.detections,
+            kinds=tuple(sorted(self.kind_counts)),
+            mean_ticks_to_detection=(
+                self.ticks_sum / self.detections if self.detections else 0.0
+            ),
+            mean_commands=(
+                self.commands_sum / self.runs if self.runs else 0.0
+            ),
+        )
+
+
+@dataclass
+class _CampaignSink:
+    """Executor sink feeding the per-variant accumulators (and,
+    optionally, the campaign's retained per-run results)."""
+
+    accumulators: dict[str, _RowAccumulator]
+    retained: dict[str, list[TestRunResult]] | None = None
+
+    def accept(self, cell: WorkCell, result: TestRunResult) -> None:
+        self.accumulators[cell.variant].add(result)
+        if self.retained is not None:
+            self.retained.setdefault(cell.variant, []).append(result)
+
+
+@dataclass
 class Campaign:
     """A named set of scenario variants, each swept over seeds.
 
     ``workers`` sets the default parallelism of :meth:`run`: ``1`` runs
     every (variant, seed) cell serially in this process, ``n > 1`` fans
-    the cells out over a process pool (see
+    the cells out over a process pool in batches of ``batch_size``
+    cells per submission (see
     :class:`~repro.ptest.executor.CellExecutor`).  Cells are
     independent — each run derives all its randomness from its own
     seed — and results are aggregated in submission order, so the
-    summary rows are identical at any worker count.  Builders that
-    cannot be pickled (lambdas, closures) fall back to the serial path
-    with a :class:`RuntimeWarning`.
+    summary rows are identical at any ``(workers, batch_size)``.
+
+    Prefer :meth:`add_scenario` / :meth:`add_grid` (registry-backed
+    :class:`~repro.workloads.registry.ScenarioRef` variants, always
+    parallelisable) over :meth:`add_variant` with a raw callable —
+    callables that cannot be pickled force the serial path with a
+    :class:`RuntimeWarning`.
+
+    ``keep_results=False`` drops per-run :class:`TestRunResult` objects
+    after they are folded into the row accumulators, so huge sweeps run
+    in constant memory (``results`` then stays empty).
     """
 
     seeds: Iterable[int] = (0, 1, 2, 3, 4)
     variants: dict[str, ScenarioBuilder] = field(default_factory=dict)
     results: dict[str, list[TestRunResult]] = field(default_factory=dict)
     workers: int = 1
+    batch_size: int | None = None
+    keep_results: bool = True
+    #: Per-variant streaming aggregates of the last :meth:`run` — what
+    #: :meth:`detection_rate` / :meth:`kind_counts` consult, so those
+    #: accessors stay correct with ``keep_results=False``.
+    _accumulators: dict[str, _RowAccumulator] = field(
+        default_factory=dict, repr=False, init=False
+    )
 
     def add_variant(self, name: str, builder: ScenarioBuilder) -> None:
+        """Register a variant under ``name`` (builder or ScenarioRef)."""
         if name in self.variants:
             raise ValueError(f"variant {name!r} already registered")
         self.variants[name] = builder
 
-    def run(self, workers: int | None = None) -> list[CampaignRow]:
+    def add_scenario(self, name: str, scenario: str, **params: Any) -> None:
+        """Register registry scenario ``scenario`` (with fixed
+        ``params``) as variant ``name``."""
+        self.add_variant(name, scenario_ref(scenario, **params))
+
+    def add_grid(
+        self,
+        name: str,
+        scenario: str,
+        param_grid: Mapping[str, Sequence[Any]],
+        **fixed: Any,
+    ) -> list[str]:
+        """Register one variant per point of ``param_grid``.
+
+        ``param_grid`` maps parameter names to the values to sweep; the
+        cartesian product (in the mapping's key order) becomes variants
+        named ``{name}[k1=v1,k2=v2,...]``.  ``fixed`` parameters are
+        applied to every point.  Returns the variant names, in
+        registration order.
+        """
+        overlap = sorted(set(param_grid) & set(fixed))
+        if overlap:
+            raise ConfigError(
+                f"parameters {overlap} appear both fixed and in the grid"
+            )
+        keys = list(param_grid)
+        names = []
+        for combo in itertools.product(*(param_grid[key] for key in keys)):
+            point = dict(zip(keys, combo))
+            label = ",".join(f"{key}={point[key]}" for key in keys)
+            variant = f"{name}[{label}]" if label else name
+            self.add_variant(
+                variant, scenario_ref(scenario, **fixed, **point)
+            )
+            names.append(variant)
+        return names
+
+    def run(
+        self,
+        workers: int | None = None,
+        batch_size: int | None = None,
+        sink: ResultSink | None = None,
+    ) -> list[CampaignRow]:
         """Execute every variant over every seed; returns summary rows.
 
-        ``workers`` overrides the campaign default for this call.
+        ``workers`` / ``batch_size`` override the campaign defaults for
+        this call.  Rows are aggregated incrementally as results stream
+        back; ``sink`` (if given) additionally receives every
+        ``(cell, result)`` pair in submission order.
         """
         effective = self.workers if workers is None else workers
         cells = [
@@ -69,67 +200,98 @@ class Campaign:
             for name in self.variants
             for seed in self.seeds
         ]
-        outcomes = CellExecutor(workers=effective).run_cells(
-            self.variants, cells
+        accumulators = {
+            name: _RowAccumulator(variant=name) for name in self.variants
+        }
+        retained: dict[str, list[TestRunResult]] | None = None
+        if self.keep_results:
+            retained = {name: [] for name in self.variants}
+        campaign_sink = _CampaignSink(
+            accumulators=accumulators, retained=retained
         )
-        rows = []
-        for name in self.variants:
-            runs = [
-                outcome
-                for cell, outcome in zip(cells, outcomes)
-                if cell.variant == name
-            ]
-            self.results[name] = runs
-            rows.append(self._summarise(name, runs))
-        return rows
-
-    @staticmethod
-    def _summarise(name: str, runs: list[TestRunResult]) -> CampaignRow:
-        detections = [run for run in runs if run.found_bug]
-        kinds = tuple(
-            sorted({run.report.primary.kind.value for run in detections})
-        )
-        ticks = [run.report.primary.detected_at for run in detections]
-        commands = [run.commands_issued for run in runs]
-        return CampaignRow(
-            variant=name,
-            runs=len(runs),
-            detections=len(detections),
-            kinds=kinds,
-            mean_ticks_to_detection=(
-                statistics.mean(ticks) if ticks else 0.0
+        fan_out: ResultSink = campaign_sink
+        if sink is not None:
+            fan_out = _TeeSink((campaign_sink, sink))
+        CellExecutor(
+            workers=effective,
+            batch_size=(
+                self.batch_size if batch_size is None else batch_size
             ),
-            mean_commands=statistics.mean(commands) if commands else 0.0,
-        )
+        ).run_cells(self.variants, cells, sink=fan_out)
+        if retained is not None:
+            self.results.update(retained)
+        self._accumulators.update(accumulators)
+        return [accumulators[name].row() for name in self.variants]
 
     def detection_rate(self, variant: str) -> float:
-        runs = self.results.get(variant, [])
-        if not runs:
+        accumulator = self._accumulators.get(variant)
+        if accumulator is None or not accumulator.runs:
             return 0.0
-        return sum(run.found_bug for run in runs) / len(runs)
+        return accumulator.detections / accumulator.runs
 
     def kind_counts(self, variant: str) -> dict[str, int]:
-        counts: dict[str, int] = {}
-        for run in self.results.get(variant, []):
-            if run.found_bug:
-                kind = run.report.primary.kind.value
-                counts[kind] = counts.get(kind, 0) + 1
-        return counts
+        accumulator = self._accumulators.get(variant)
+        if accumulator is None:
+            return {}
+        return dict(accumulator.kind_counts)
+
+
+@dataclass
+class _TeeSink:
+    """Fans each accepted result out to several sinks, in order."""
+
+    sinks: tuple[ResultSink, ...]
+
+    def accept(self, cell: WorkCell, result: TestRunResult) -> None:
+        for sink in self.sinks:
+            sink.accept(cell, result)
+
+
+def _op_variant_builder(
+    builder_for_op: Callable[[str, int], AdaptiveTest], op: str, seed: int
+) -> AdaptiveTest:
+    """Module-level adapter binding ``op`` for legacy ``compare_ops``
+    callables — picklable whenever ``builder_for_op`` is."""
+    return builder_for_op(op, seed)
 
 
 def compare_ops(
-    builder_for_op: Callable[[str, int], AdaptiveTest],
+    scenario: str | Callable[[str, int], AdaptiveTest],
     ops: Iterable[str],
     seeds: Iterable[int],
     expected: AnomalyKind,
+    *,
+    workers: int = 1,
+    batch_size: int | None = None,
+    params: Mapping[str, Any] | None = None,
 ) -> list[CampaignRow]:
-    """Convenience: one campaign variant per merge op.
+    """Convenience: one campaign variant per merge op, detections scored
+    against the expected anomaly class.
 
-    ``builder_for_op(op, seed)`` must return a ready AdaptiveTest.
+    ``scenario`` is preferably a registry name whose builder takes an
+    ``op`` parameter (e.g. ``"philosophers"``) — the sweep then runs on
+    :class:`~repro.workloads.registry.ScenarioRef` grid variants and
+    parallelises cleanly at any ``workers``/``batch_size``.  A legacy
+    ``builder_for_op(op, seed)`` callable is also accepted (it must be
+    picklable itself to leave the serial path).
     """
-    campaign = Campaign(seeds=tuple(seeds))
-    for op in ops:
-        campaign.add_variant(op, lambda seed, op=op: builder_for_op(op, seed))
+    campaign = Campaign(
+        seeds=tuple(seeds), workers=workers, batch_size=batch_size
+    )
+    if isinstance(scenario, str):
+        for op in ops:
+            campaign.add_scenario(op, scenario, op=op, **(params or {}))
+    else:
+        if params:
+            raise ValueError(
+                "params are only supported with registry scenario names"
+            )
+        from functools import partial
+
+        for op in ops:
+            campaign.add_variant(
+                op, partial(_op_variant_builder, scenario, op)
+            )
     rows = campaign.run()
     # Re-score detections against the expected anomaly class.
     rescored = []

@@ -1,4 +1,4 @@
-"""Work-queue execution of campaign cells.
+"""Batched, streaming work-queue execution of campaign cells.
 
 A campaign is a grid of independent *(variant, seed)* cells, each of
 which builds and runs one :class:`~repro.ptest.harness.AdaptiveTest`.
@@ -7,26 +7,56 @@ cell's seed — so they parallelise embarrassingly.
 
 :class:`CellExecutor` dispatches cells either in-process (``workers=1``,
 the deterministic serial fallback) or across a
-:class:`concurrent.futures.ProcessPoolExecutor`.  Results are returned
-keyed by cell in *submission order*, never completion order, so
-aggregation downstream is identical whichever path ran.  Builders that
-cannot cross a process boundary (lambdas, closures) are detected up
-front with a pickle probe and the executor degrades to the serial path
-instead of failing mid-campaign.
+:class:`concurrent.futures.ProcessPoolExecutor`.  Three properties
+define the execution model:
+
+* **Portable variants.**  The preferred variant payload is a
+  :class:`~repro.workloads.registry.ScenarioRef` — a picklable
+  ``(name, params)`` value that resolves its builder through the
+  scenario registry *inside the worker process*, so any scenario
+  (lambda-built, closure-built, whatever) parallelises.  Raw callables
+  are still accepted; ones that cannot be pickled degrade to the
+  serial path with a :class:`RuntimeWarning` (detected up front with a
+  pickle probe, never mid-campaign).
+* **Batching.**  Cells are grouped into per-worker batches
+  (``batch_size``; ``None`` picks a heuristic from the cell count and
+  worker count), amortising pickle/submission overhead that dominates
+  sub-10ms cells.  Batching never changes results — only how cells are
+  packed into pool submissions.
+* **Streaming sinks.**  Pass a :class:`ResultSink` and each
+  ``(cell, result)`` pair is delivered as soon as it is available — in
+  *submission order*, never completion order, so downstream
+  aggregation is identical whichever path (or batch packing) ran, and
+  nothing requires materialising every
+  :class:`~repro.ptest.harness.TestRunResult` at once.
 """
 
 from __future__ import annotations
 
 import pickle
 import warnings
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Mapping,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 if TYPE_CHECKING:  # circular at runtime: harness -> detector -> ...
     from repro.ptest.harness import AdaptiveTest, TestRunResult
 
+#: Anything callable as ``builder(seed)`` yielding an object with a
+#: ``.run() -> TestRunResult`` method.  ScenarioRef satisfies this.
 ScenarioBuilder = Callable[[int], "AdaptiveTest"]
+
+#: Upper bound the batch-size heuristic will pick on its own; explicit
+#: ``batch_size`` values may exceed it.
+MAX_AUTO_BATCH = 32
 
 
 @dataclass(frozen=True)
@@ -37,9 +67,48 @@ class WorkCell:
     seed: int
 
 
+@runtime_checkable
+class ResultSink(Protocol):
+    """Receives each cell's result as soon as it is available.
+
+    Delivery order is the cells' submission order regardless of worker
+    count or batch packing, so an accumulating sink produces identical
+    aggregates on every execution path.
+    """
+
+    def accept(self, cell: WorkCell, result: "TestRunResult") -> None:
+        """Consume one completed cell."""
+
+
+@dataclass
+class CollectSink:
+    """The trivial sink: keeps every result, aligned with its cell."""
+
+    cells: list[WorkCell] = field(default_factory=list)
+    results: list["TestRunResult"] = field(default_factory=list)
+
+    def accept(self, cell: WorkCell, result: "TestRunResult") -> None:
+        self.cells.append(cell)
+        self.results.append(result)
+
+
 def run_cell(builder: ScenarioBuilder, seed: int) -> "TestRunResult":
     """Build and run one cell (module-level so it pickles to workers)."""
     return builder(seed).run()
+
+
+def run_cell_batch(
+    jobs: Sequence[tuple[ScenarioBuilder, int]],
+) -> list["TestRunResult"]:
+    """Run a batch of (builder, seed) jobs; one pool submission's work.
+
+    Module-level so it pickles to workers.  When a job's builder is a
+    :class:`~repro.workloads.registry.ScenarioRef` only its
+    ``(name, params)`` crossed the process boundary — calling it here
+    resolves the actual scenario builder from the registry inside the
+    worker.
+    """
+    return [builder(seed).run() for builder, seed in jobs]
 
 
 def _picklable(value: object) -> bool:
@@ -58,57 +127,152 @@ class CellExecutor:
     ----------
     workers:
         Degree of parallelism.  ``1`` (the default) runs every cell in
-        this process; ``n > 1`` fans cells out over up to ``n``
-        processes.  Whatever the value, results are aggregated in
+        this process; ``n > 1`` fans batches of cells out over up to
+        ``n`` processes.  Whatever the value, results are delivered in
         submission order, so output is deterministic given the seeds.
+    batch_size:
+        Cells per pool submission.  ``None`` (the default) picks
+        ``ceil(len(cells) / (4 * workers))`` capped at
+        :data:`MAX_AUTO_BATCH` — roughly four waves per worker, enough
+        to amortise pickle/startup cost for sub-10ms cells while still
+        load-balancing.  Ignored on the serial path.
 
     After :meth:`run_cells` returns, ``ran_parallel`` records which
     path executed — ``False`` plus a :class:`RuntimeWarning` when
-    parallelism was requested but a builder could not be pickled.
+    parallelism was requested but a builder could not be pickled — and
+    ``last_batch_size`` / ``batches_submitted`` record how the cells
+    were packed.
     """
 
     workers: int = 1
+    batch_size: int | None = None
     #: Which path the last :meth:`run_cells` took (None before any run).
     ran_parallel: bool | None = None
+    #: Effective batch size of the last parallel run (None = serial).
+    last_batch_size: int | None = None
+    #: Pool submissions made by the last parallel run.
+    batches_submitted: int = 0
 
     def run_cells(
         self,
         builders: Mapping[str, ScenarioBuilder],
         cells: Sequence[WorkCell],
-    ) -> list["TestRunResult"]:
-        """Execute ``cells``; results align with ``cells`` by position."""
+        *,
+        batch_size: int | None = None,
+        sink: ResultSink | None = None,
+    ) -> list["TestRunResult"] | None:
+        """Execute ``cells``; results align with ``cells`` by position.
+
+        With ``sink`` given, every ``(cell, result)`` pair is instead
+        *streamed* to it in submission order as execution proceeds and
+        the method returns ``None`` — no result list is materialised,
+        so an aggregating sink runs arbitrarily large campaigns in
+        memory bounded by the in-flight batches, not the cell count.
+        """
         for cell in cells:
             if cell.variant not in builders:
                 raise KeyError(f"no builder for variant {cell.variant!r}")
+        requested = batch_size if batch_size is not None else self.batch_size
+        if requested is not None and requested < 1:
+            # Reject on every path, not just when the pool would run.
+            raise ValueError(f"batch_size must be >= 1, got {requested}")
+        self.last_batch_size = None
+        self.batches_submitted = 0
         if self.workers > 1 and len(cells) > 1:
             if self._portable(builders):
                 self.ran_parallel = True
-                return self._run_parallel(builders, cells)
+                return self._run_parallel(
+                    builders, cells, batch_size=batch_size, sink=sink
+                )
             warnings.warn(
                 f"workers={self.workers} requested but a scenario builder "
-                "cannot be pickled (lambda/closure?); running cells "
-                "serially",
+                "cannot be pickled (lambda/closure?); register it and pass "
+                "a ScenarioRef to parallelise — running cells serially",
                 RuntimeWarning,
                 stacklevel=2,
             )
         self.ran_parallel = False
-        return [
-            run_cell(builders[cell.variant], cell.seed) for cell in cells
-        ]
+        results = None if sink is not None else []
+        for cell in cells:
+            result = run_cell(builders[cell.variant], cell.seed)
+            if sink is not None:
+                sink.accept(cell, result)
+            else:
+                results.append(result)
+        return results
 
     def _portable(self, builders: Mapping[str, ScenarioBuilder]) -> bool:
         """Whether every builder can be shipped to a worker process."""
         return all(_picklable(builder) for builder in builders.values())
 
+    def _resolve_batch_size(
+        self, cell_count: int, batch_size: int | None
+    ) -> int:
+        effective = (
+            batch_size if batch_size is not None else self.batch_size
+        )
+        if effective is None:
+            # ~4 waves per worker: amortisation vs. load balance.
+            effective = -(-cell_count // (4 * self.workers))
+            effective = min(effective, MAX_AUTO_BATCH)
+        # run_cells already rejected explicit values < 1.
+        return max(1, min(effective, cell_count))
+
     def _run_parallel(
         self,
         builders: Mapping[str, ScenarioBuilder],
         cells: Sequence[WorkCell],
-    ) -> list["TestRunResult"]:
-        max_workers = min(self.workers, len(cells))
+        *,
+        batch_size: int | None,
+        sink: ResultSink | None,
+    ) -> list["TestRunResult"] | None:
+        size = self._resolve_batch_size(len(cells), batch_size)
+        self.last_batch_size = size
+        batches = [
+            list(cells[start : start + size])
+            for start in range(0, len(cells), size)
+        ]
+        self.batches_submitted = len(batches)
+        max_workers = min(self.workers, len(batches))
+        results: list["TestRunResult"] | None = (
+            None if sink is not None else []
+        )
+        # Keep at most ~2 batches per worker in flight: enough queued
+        # work that no worker idles between batches, while undrained
+        # result payloads stay bounded by the window, not the campaign
+        # size (the constant-memory contract of sink streaming).
+        window = 2 * max_workers
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = [
-                pool.submit(run_cell, builders[cell.variant], cell.seed)
-                for cell in cells
-            ]
-            return [future.result() for future in futures]
+            pending: deque[tuple[list[WorkCell], "Future"]] = deque()
+            cursor = 0
+
+            def top_up() -> None:
+                nonlocal cursor
+                while cursor < len(batches) and len(pending) < window:
+                    batch = batches[cursor]
+                    cursor += 1
+                    pending.append(
+                        (
+                            batch,
+                            pool.submit(
+                                run_cell_batch,
+                                [
+                                    (builders[cell.variant], cell.seed)
+                                    for cell in batch
+                                ],
+                            ),
+                        )
+                    )
+
+            # Drain in submission order: later batches may finish first,
+            # but delivery (and therefore aggregation) never reorders.
+            top_up()
+            while pending:
+                batch, future = pending.popleft()
+                for cell, result in zip(batch, future.result()):
+                    if sink is not None:
+                        sink.accept(cell, result)
+                    else:
+                        results.append(result)
+                top_up()
+        return results

@@ -11,9 +11,15 @@
   with a starvation-prone writer variant.
 * :mod:`repro.workloads.fig1` — the exact four-process example of the
   paper's Fig. 1.
+* :mod:`repro.workloads.spin` — a tunable-duration, detection-free
+  spinner (clean campaign cells for executor benchmarking).
 * :mod:`repro.workloads.scenarios` — helpers binding workloads, faults
   and configs into runnable :class:`~repro.ptest.harness.AdaptiveTest`
   scenarios (the per-experiment entry points).
+* :mod:`repro.workloads.registry` — the scenario registry: every
+  scenario above is registered by name with a typed parameter spec,
+  and :class:`~repro.workloads.registry.ScenarioRef` is the picklable
+  form campaigns ship to worker processes.
 """
 
 from repro.workloads.quicksort import (
@@ -33,9 +39,31 @@ from repro.workloads.readers_writers import (
     make_reader_program,
     make_writer_program,
 )
+from repro.workloads.registry import (
+    REGISTRY,
+    ParamSpec,
+    ScenarioRef,
+    ScenarioRegistry,
+    ScenarioSpec,
+    build_scenario,
+    scenario,
+    scenario_names,
+    scenario_ref,
+)
+from repro.workloads.spin import make_spin_program
 from repro.workloads import barrier, fig1, pipeline, priority_inversion, scenarios
 
 __all__ = [
+    "REGISTRY",
+    "ParamSpec",
+    "ScenarioRef",
+    "ScenarioRegistry",
+    "ScenarioSpec",
+    "build_scenario",
+    "scenario",
+    "scenario_names",
+    "scenario_ref",
+    "make_spin_program",
     "QSORT_ELEMENTS",
     "make_quicksort_program",
     "quicksort_steps",

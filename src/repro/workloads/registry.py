@@ -1,0 +1,325 @@
+"""Name-addressable scenario registry.
+
+Every workload the repo ships is registered here under a stable name
+with a *typed parameter spec*, so examples, benches, tests, the CLI and
+— crucially — campaign worker processes can all construct the same
+scenario from nothing but a string and a parameter mapping.
+
+Three pieces:
+
+* :class:`ScenarioRegistry` — maps ``name -> ScenarioSpec``.  Scenario
+  functions register through the :func:`scenario` decorator; the
+  parameter spec (names, types, defaults) is inferred from the
+  function signature, so the registry validates and coerces parameters
+  before a run ever starts.
+* :class:`ScenarioRef` — the *portable* form of "scenario ``name`` with
+  these parameters".  A ref is a frozen, picklable value object that is
+  also a :class:`~repro.ptest.executor.ScenarioBuilder`: calling
+  ``ref(seed)`` resolves the builder **inside the calling process**
+  through the registry.  Shipping refs (not callables) to worker
+  processes is what lets :class:`~repro.ptest.executor.CellExecutor`
+  parallelise any scenario — lambdas-wrapped-in-refs never cross the
+  process boundary, only ``(name, params)`` does.
+* The module-level default registry (:data:`REGISTRY`) plus the
+  :func:`scenario` / :func:`scenario_ref` / :func:`build_scenario`
+  conveniences.  The default registry lazily imports
+  :mod:`repro.workloads.scenarios` on first lookup so that worker
+  processes (which never imported the scenario module themselves) still
+  resolve every built-in name.
+
+Builders registered here take ``(seed, **params)`` and return any
+object with a ``.run() -> TestRunResult`` method (normally an
+:class:`~repro.ptest.harness.AdaptiveTest`).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.errors import ConfigError
+
+#: Parameter types the spec knows how to coerce (CLI strings included).
+_COERCIBLE = (bool, int, float, str)
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One typed, defaulted parameter of a registered scenario."""
+
+    name: str
+    type: type
+    default: Any
+
+    def coerce(self, value: Any) -> Any:
+        """Validate ``value`` against the spec, converting when safe.
+
+        Accepts exact-type values, int->float widening, and string
+        forms (so CLI ``--param key=value`` pairs round-trip); anything
+        else raises :class:`~repro.errors.ConfigError`.
+        """
+        if self.type not in _COERCIBLE:
+            return value  # opaque parameter: pass through untouched
+        if self.type is bool:
+            if isinstance(value, bool):
+                return value
+            if isinstance(value, str):
+                lowered = value.strip().lower()
+                if lowered in ("1", "true", "yes", "on"):
+                    return True
+                if lowered in ("0", "false", "no", "off"):
+                    return False
+            raise ConfigError(
+                f"parameter {self.name!r} expects a bool, got {value!r}"
+            )
+        if isinstance(value, bool):  # bool is an int subclass: reject
+            raise ConfigError(
+                f"parameter {self.name!r} expects {self.type.__name__}, "
+                f"got bool {value!r}"
+            )
+        if isinstance(value, self.type):
+            return value
+        if self.type is float and isinstance(value, int):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return self.type(value)
+            except ValueError:
+                pass
+        raise ConfigError(
+            f"parameter {self.name!r} expects {self.type.__name__}, "
+            f"got {value!r}"
+        )
+
+    def describe(self) -> str:
+        return f"{self.name}: {self.type.__name__} = {self.default!r}"
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A registered scenario: builder + parameter spec + description."""
+
+    name: str
+    builder: Callable[..., Any]
+    params: tuple[ParamSpec, ...]
+    description: str = ""
+
+    def param(self, name: str) -> ParamSpec:
+        for spec in self.params:
+            if spec.name == name:
+                return spec
+        known = [spec.name for spec in self.params]
+        raise ConfigError(
+            f"scenario {self.name!r} has no parameter {name!r}; "
+            f"known: {known}"
+        )
+
+    def validate(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        """Coerce ``params`` against the spec; unknown names raise."""
+        return {name: self.param(name).coerce(value) for name, value in params.items()}
+
+    def describe(self) -> str:
+        signature = ", ".join(spec.describe() for spec in self.params)
+        return f"{self.name}({signature})"
+
+
+def _infer_params(builder: Callable[..., Any]) -> tuple[ParamSpec, ...]:
+    """Derive the parameter spec from the builder's signature.
+
+    The first parameter is the seed (by convention); every following
+    parameter must have a default, whose runtime type becomes the
+    spec's type (``None`` defaults stay uncoerced).
+    """
+    signature = inspect.signature(builder)
+    names = list(signature.parameters)
+    if not names:
+        raise ConfigError(
+            f"scenario builder {builder!r} must accept a seed parameter"
+        )
+    specs = []
+    for name in names[1:]:
+        parameter = signature.parameters[name]
+        if parameter.kind in (
+            inspect.Parameter.VAR_POSITIONAL,
+            inspect.Parameter.VAR_KEYWORD,
+        ):
+            raise ConfigError(
+                f"scenario builder {builder!r} may not use *args/**kwargs"
+            )
+        if parameter.default is inspect.Parameter.empty:
+            raise ConfigError(
+                f"scenario parameter {name!r} of {builder!r} needs a default"
+            )
+        default = parameter.default
+        kind = type(default) if default is not None else object
+        specs.append(ParamSpec(name=name, type=kind, default=default))
+    return tuple(specs)
+
+
+@dataclass
+class ScenarioRegistry:
+    """Maps scenario names to builders with typed parameter specs.
+
+    ``loader`` (when set) is invoked once before the first lookup that
+    would otherwise miss — the default registry uses it to import the
+    built-in scenario module, so freshly-spawned worker processes
+    resolve names without any caller-side imports.
+    """
+
+    loader: Callable[[], None] | None = None
+    _specs: dict[str, ScenarioSpec] = field(default_factory=dict)
+    _loaded: bool = False
+
+    def register(
+        self,
+        name: str,
+        builder: Callable[..., Any] | None = None,
+        *,
+        description: str | None = None,
+    ):
+        """Register ``builder`` under ``name`` (usable as a decorator).
+
+        Duplicate names raise ``ValueError`` — names are the public,
+        stable addressing scheme and silent replacement would make a
+        campaign's meaning depend on import order.
+        """
+
+        def add(fn: Callable[..., Any]) -> Callable[..., Any]:
+            if name in self._specs:
+                raise ValueError(f"scenario {name!r} already registered")
+            doc = description
+            if doc is None:
+                doc = (inspect.getdoc(fn) or "").split("\n", 1)[0].strip()
+            self._specs[name] = ScenarioSpec(
+                name=name,
+                builder=fn,
+                params=_infer_params(fn),
+                description=doc,
+            )
+            return fn
+
+        if builder is not None:
+            return add(builder)
+        return add
+
+    def _ensure_loaded(self) -> None:
+        if self.loader is not None and not self._loaded:
+            self._loaded = True  # before the call: loader may recurse
+            try:
+                self.loader()
+            except BaseException:
+                # Surface the real import failure again on the next
+                # lookup instead of a misleading empty-registry error.
+                self._loaded = False
+                raise
+
+    def get(self, name: str) -> ScenarioSpec:
+        self._ensure_loaded()
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise ConfigError(
+                f"unknown scenario {name!r}; known: {self.names()}"
+            ) from None
+
+    def names(self) -> list[str]:
+        self._ensure_loaded()
+        return sorted(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        self._ensure_loaded()
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[ScenarioSpec]:
+        self._ensure_loaded()
+        return iter([self._specs[name] for name in self.names()])
+
+    def ref(self, name: str, **params: Any) -> "ScenarioRef":
+        """A validated, portable reference to ``name`` with ``params``.
+
+        Refs from the default registry stay unbound (they resolve
+        through the process-global :data:`REGISTRY`, which is what a
+        worker process reconstructs); refs from a custom registry bind
+        to it, so they resolve against the registry that validated
+        them — at the cost of only being as picklable as that
+        registry's builders are.
+        """
+        validated = self.get(name).validate(params)
+        return ScenarioRef(
+            name=name,
+            params=tuple(sorted(validated.items())),
+            registry=None if self is REGISTRY else self,
+        )
+
+    def build(
+        self, name: str, seed: int, params: Mapping[str, Any] | None = None
+    ) -> Any:
+        """Instantiate scenario ``name`` for ``seed`` (validating params)."""
+        spec = self.get(name)
+        validated = spec.validate(params or {})
+        return spec.builder(seed, **validated)
+
+
+@dataclass(frozen=True)
+class ScenarioRef:
+    """A picklable ``(scenario name, parameters)`` pair.
+
+    Calling a ref with a seed builds the scenario through the default
+    registry *in the calling process* — this is the only thing campaign
+    workers ever unpickle, so no scenario builder (lambda, closure,
+    bound method, whatever) needs to cross a process boundary itself.
+    """
+
+    name: str
+    #: Sorted ``(key, value)`` pairs — hashable and order-canonical.
+    params: tuple[tuple[str, Any], ...] = ()
+    #: The registry that minted this ref; ``None`` (the portable common
+    #: case) means the process-global default registry.
+    registry: "ScenarioRegistry | None" = field(
+        default=None, compare=False, repr=False
+    )
+
+    def _registry(self) -> "ScenarioRegistry":
+        return self.registry if self.registry is not None else REGISTRY
+
+    def __call__(self, seed: int) -> Any:
+        return self._registry().build(self.name, seed, dict(self.params))
+
+    def with_params(self, **params: Any) -> "ScenarioRef":
+        """A new ref with ``params`` overlaid on this ref's parameters."""
+        merged = dict(self.params)
+        merged.update(params)
+        return self._registry().ref(self.name, **merged)
+
+    def describe(self) -> str:
+        rendered = ", ".join(f"{k}={v!r}" for k, v in self.params)
+        return f"{self.name}({rendered})"
+
+
+def _load_builtin_scenarios() -> None:
+    """Import the built-in scenario module for its registration side
+    effects (runs at most once, lazily, in every process)."""
+    import repro.workloads.scenarios  # noqa: F401
+
+
+#: The process-wide default registry, holding the built-in workloads.
+REGISTRY = ScenarioRegistry(loader=_load_builtin_scenarios)
+
+#: Decorator registering a scenario in the default registry.
+scenario = REGISTRY.register
+
+
+def scenario_ref(name: str, **params: Any) -> ScenarioRef:
+    """A validated :class:`ScenarioRef` from the default registry."""
+    return REGISTRY.ref(name, **params)
+
+
+def build_scenario(name: str, seed: int = 0, **params: Any) -> Any:
+    """Build one scenario instance from the default registry."""
+    return REGISTRY.build(name, seed, params)
+
+
+def scenario_names() -> list[str]:
+    """All names in the default registry (imports built-ins)."""
+    return REGISTRY.names()

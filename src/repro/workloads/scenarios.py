@@ -3,6 +3,12 @@
 Each scenario function returns a fully-wired
 :class:`~repro.ptest.harness.AdaptiveTest` so examples, tests and
 benches share one definition of "the paper's test case N".
+
+Every scenario here is also registered, by name, in the default
+:class:`~repro.workloads.registry.ScenarioRegistry` — the
+``@scenario("...")`` decorators below are what make
+``scenario_ref("philosophers", op="cyclic")`` resolvable in campaign
+worker processes, the CLI and downstream scripts.
 """
 
 from __future__ import annotations
@@ -11,7 +17,14 @@ from repro.automata.pfa import PFA, Transition
 from repro.pcore.kernel import KernelConfig, PCoreKernel
 from repro.ptest.config import PTestConfig
 from repro.ptest.harness import AdaptiveTest
+from repro.workloads.barrier import make_barrier_program, setup_barrier
 from repro.workloads.philosophers import make_philosopher_program
+from repro.workloads.pipeline import (
+    make_sink_program,
+    make_source_program,
+    make_stage_program,
+    queue_name,
+)
 from repro.workloads.producer_consumer import (
     ITEMS_SEM,
     SPACE_SEM,
@@ -19,6 +32,12 @@ from repro.workloads.producer_consumer import (
     make_producer_program,
 )
 from repro.workloads.quicksort import make_quicksort_program
+from repro.workloads.readers_writers import (
+    make_reader_program,
+    make_writer_program,
+)
+from repro.workloads.registry import scenario
+from repro.workloads.spin import make_spin_program
 
 
 def lifecycle_pfa(symbols: tuple[str, ...]) -> PFA:
@@ -43,6 +62,7 @@ def lifecycle_pfa(symbols: tuple[str, ...]) -> PFA:
     )
 
 
+@scenario("quicksort_stress")
 def stress_case1(
     seed: int = 0,
     buggy_gc: bool = True,
@@ -90,6 +110,7 @@ def stress_case1(
     )
 
 
+@scenario("philosophers")
 def philosophers_case2(
     seed: int = 0,
     op: str = "cyclic",
@@ -140,19 +161,10 @@ def philosophers_programs(count: int = 3, ordered: bool = False) -> dict:
     }
 
 
-def build_philosophers_ptest(seed: int) -> AdaptiveTest:
-    """Picklable campaign builder: pTest (cyclic op) on test case 2.
-
-    Module-level so :class:`~repro.ptest.executor.CellExecutor` can
-    ship it to worker processes; shared by the comparison bench and
-    ``examples/baseline_comparison.py``.
-    """
-    return philosophers_case2(seed=seed, op="cyclic")
-
-
+@scenario("philosophers_random")
 def build_philosophers_random(seed: int):
-    """Picklable campaign builder: ConTest-style random noise on the
-    philosophers scenario (same fault, unstructured interleaving)."""
+    """ConTest-style random noise on the philosophers scenario (same
+    fault, unstructured interleaving)."""
     from repro.baselines.random_tester import RandomTester
 
     scenario = philosophers_case2(seed=seed)
@@ -161,6 +173,7 @@ def build_philosophers_random(seed: int):
     )
 
 
+@scenario("priority_inversion")
 def priority_inversion_scenario(
     seed: int = 0,
     inheritance: bool = False,
@@ -224,6 +237,7 @@ def high_task_completion_tick(test: AdaptiveTest) -> int | None:
     return None
 
 
+@scenario("producer_consumer")
 def producer_consumer_scenario(
     seed: int = 0,
     items: int = 12,
@@ -261,4 +275,178 @@ def producer_consumer_scenario(
         },
         pfa=pfa,
         setup=setup,
+    )
+
+
+@scenario("barrier")
+def barrier_scenario(
+    seed: int = 0,
+    parties: int = 3,
+    phases: int = 4,
+    work: int = 5,
+    faulty: bool = False,
+    max_ticks: int = 25_000,
+    progress_window: int = 2_000,
+) -> AdaptiveTest:
+    """Cyclic-barrier group: ``parties`` tasks meeting every phase.
+
+    Healthy runs drain cleanly; with ``faulty=True`` the last arriver
+    drops one turnstile release on every third phase, so from the next
+    phase on the whole group blocks on the turnstile forever and the
+    detector reports STARVATION of the blocked tasks.
+    """
+    program = make_barrier_program(
+        parties, phases=phases, work=work, faulty=faulty
+    )
+    config = PTestConfig(
+        pattern_count=parties,
+        pattern_size=1,
+        op="round_robin",
+        seed=seed,
+        program="barrier_member",
+        pair_programs=("barrier_member",) * parties,
+        lockstep=True,
+        max_ticks=max_ticks,
+        progress_window=progress_window,
+        reply_timeout=5_000,
+    )
+    return AdaptiveTest(
+        config=config,
+        programs={"barrier_member": program},
+        pfa=lifecycle_pfa(("TC",)),
+        setup=setup_barrier,
+    )
+
+
+@scenario("readers_writers")
+def readers_writers_scenario(
+    seed: int = 0,
+    readers: int = 2,
+    reads: int = 6,
+    increments: int = 6,
+    hold_steps: int = 2,
+    greedy: bool = False,
+    max_ticks: int = 30_000,
+    progress_window: int = 5_000,
+) -> AdaptiveTest:
+    """Readers/writers over the shared counter: one writer (pair 0, the
+    lowest priority band) plus ``readers`` reader tasks.
+
+    The plain variant is a healthy concurrent mutex workload (detector
+    false-positive coverage); ``greedy=True`` readers hold the lock 50x
+    longer, squeezing the writer — shrink ``progress_window`` to study
+    the detector's starvation threshold against it.
+    """
+    config = PTestConfig(
+        pattern_count=readers + 1,
+        pattern_size=1,
+        op="round_robin",
+        seed=seed,
+        program="rw_writer",
+        pair_programs=("rw_writer",) + ("rw_reader",) * readers,
+        lockstep=True,
+        max_ticks=max_ticks,
+        progress_window=progress_window,
+        reply_timeout=5_000,
+    )
+    return AdaptiveTest(
+        config=config,
+        programs={
+            "rw_writer": make_writer_program(
+                increments, hold_steps=hold_steps
+            ),
+            "rw_reader": make_reader_program(
+                reads, hold_steps=hold_steps, greedy=greedy
+            ),
+        },
+        pfa=lifecycle_pfa(("TC",)),
+    )
+
+
+@scenario("pipeline")
+def pipeline_scenario(
+    seed: int = 0,
+    stages: int = 2,
+    count: int = 12,
+    queue_capacity: int = 2,
+    work: int = 1,
+    max_ticks: int = 40_000,
+    progress_window: int = 5_000,
+) -> AdaptiveTest:
+    """``source -> stage_1 .. stage_k -> sink`` over kernel queues.
+
+    Pair bands ascend along the pipeline, so the sink runs hottest and
+    queues stay short (maximum context-switch pressure), mirroring
+    :func:`repro.workloads.pipeline.build_pipeline`.  The sink asserts
+    the stream arrives in order; a healthy run drains clean.
+    """
+    stage_names = tuple(f"pipe_stage{index}" for index in range(stages))
+    pair_programs = ("pipe_source",) + stage_names + ("pipe_sink",)
+    programs = {
+        "pipe_source": make_source_program(count, work=work),
+        "pipe_sink": make_sink_program(stages, count),
+    }
+    for index, name in enumerate(stage_names):
+        programs[name] = make_stage_program(index, count, work=work)
+
+    def setup(kernel: PCoreKernel) -> None:
+        for index in range(stages + 1):
+            kernel.add_message_queue(
+                queue_name(index), capacity=queue_capacity
+            )
+
+    config = PTestConfig(
+        pattern_count=len(pair_programs),
+        pattern_size=1,
+        op="round_robin",
+        seed=seed,
+        program="pipe_source",
+        pair_programs=pair_programs,
+        lockstep=True,
+        max_ticks=max_ticks,
+        progress_window=progress_window,
+        reply_timeout=5_000,
+    )
+    return AdaptiveTest(
+        config=config,
+        programs=programs,
+        pfa=lifecycle_pfa(("TC",)),
+        setup=setup,
+    )
+
+
+@scenario("clean_spin")
+def clean_spin_scenario(
+    seed: int = 0,
+    tasks: int = 3,
+    total_steps: int = 600,
+    chunk: int = 20,
+) -> AdaptiveTest:
+    """Long-running *clean* campaign cell for executor benchmarking.
+
+    ``tasks`` spinners each compute ``total_steps`` units in polite
+    ``chunk``-sized slices and exit; under strict priority scheduling
+    they run to completion one band at a time, so the run lasts about
+    ``tasks * total_steps`` ticks and never detects anything — the
+    detector windows are derived from the duration so no legitimate
+    wait can trip them (the ordered-philosophers control cannot make
+    that promise once its holds outgrow the progress window).
+    """
+    duration = tasks * total_steps
+    config = PTestConfig(
+        pattern_count=tasks,
+        pattern_size=1,
+        op="round_robin",
+        seed=seed,
+        program="spinner",
+        pair_programs=("spinner",) * tasks,
+        lockstep=True,
+        max_ticks=4 * duration + 10_000,
+        progress_window=2 * duration + 2_000,
+        reply_timeout=2 * duration + 2_000,
+    )
+    return AdaptiveTest(
+        config=config,
+        programs={"spinner": make_spin_program(total_steps, chunk=chunk)},
+        pfa=lifecycle_pfa(("TC",)),
     )

@@ -1,0 +1,43 @@
+"""A long-running, detection-free compute workload.
+
+Executor benchmarking needs campaign cells whose runtime is tunable and
+whose outcome is always clean — the ROADMAP's note that the
+``ordered=True`` philosophers control trips STARVATION once its
+``hold_steps`` exceed the detector's progress window ruled the existing
+controls out.  A *spinner* computes in short chunks with a polite
+``YieldCpu`` between chunks, so it always makes progress, touches no
+shared resources, and exits after exactly ``total_steps`` compute units
+— nothing for the detector to report at any duration.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.errors import ReproError
+from repro.pcore.programs import Compute, Exit, Syscall, TaskContext, YieldCpu
+
+
+def make_spin_program(total_steps: int, chunk: int = 20):
+    """A task that computes ``total_steps`` units, ``chunk`` at a time.
+
+    The yield between chunks keeps the task's progress counter moving
+    (no starvation window ever opens) while still letting the scheduler
+    interleave it with anything else.
+    """
+    if total_steps < 1:
+        raise ReproError(f"total_steps must be >= 1, got {total_steps}")
+    if chunk < 1:
+        raise ReproError(f"chunk must be >= 1, got {chunk}")
+
+    def program(ctx: TaskContext) -> Generator[Syscall, object, None]:
+        del ctx
+        remaining = total_steps
+        while remaining > 0:
+            step = min(chunk, remaining)
+            yield Compute(step)
+            remaining -= step
+            yield YieldCpu()
+        yield Exit(total_steps)
+
+    return program

@@ -1,0 +1,357 @@
+"""Tests for the scenario registry and the batched streaming executor.
+
+Covers the registry's typed parameter specs, ``ScenarioRef``
+round-trips (ref -> pickle -> worker-side build), batched-vs-unbatched
+campaign determinism, the result-sink streaming protocol, and the
+registered workload catalogue itself (all eight workloads runnable by
+name, ``clean_spin`` never detecting).
+"""
+
+from __future__ import annotations
+
+import pickle
+import warnings
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.ptest.campaign import Campaign, compare_ops
+from repro.ptest.detector import AnomalyKind
+from repro.ptest.executor import CellExecutor, CollectSink, WorkCell
+from repro.workloads.registry import (
+    REGISTRY,
+    ScenarioRef,
+    ScenarioRegistry,
+    build_scenario,
+    scenario_names,
+    scenario_ref,
+)
+
+#: The eight first-class workloads the registry must always expose.
+WORKLOADS = (
+    "philosophers",
+    "quicksort_stress",
+    "producer_consumer",
+    "priority_inversion",
+    "barrier",
+    "readers_writers",
+    "pipeline",
+    "clean_spin",
+)
+
+
+class TestRegistry:
+    def test_all_workloads_registered(self):
+        names = scenario_names()
+        for name in WORKLOADS:
+            assert name in names
+
+    def test_duplicate_registration_rejected(self):
+        registry = ScenarioRegistry()
+        registry.register("dup", lambda seed, x=1: None)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("dup", lambda seed, x=1: None)
+        # The default registry enforces the same invariant.
+        with pytest.raises(ValueError, match="already registered"):
+            REGISTRY.register("philosophers", lambda seed: None)
+
+    def test_unknown_scenario_lists_known(self):
+        with pytest.raises(ConfigError, match="philosophers"):
+            build_scenario("no_such_scenario")
+
+    def test_param_spec_inferred_from_signature(self):
+        spec = REGISTRY.get("philosophers")
+        op = spec.param("op")
+        assert op.type is str and op.default == "cyclic"
+        ordered = spec.param("ordered")
+        assert ordered.type is bool and ordered.default is False
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ConfigError, match="no parameter"):
+            scenario_ref("philosophers", flavour="spicy")
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(ConfigError, match="expects int"):
+            scenario_ref("clean_spin", tasks="many")
+        with pytest.raises(ConfigError, match="expects a bool"):
+            scenario_ref("philosophers", ordered="maybe")
+        # bool is an int subclass but must not pass for one.
+        with pytest.raises(ConfigError, match="expects int"):
+            scenario_ref("clean_spin", tasks=True)
+
+    def test_string_params_coerced(self):
+        # CLI --param values arrive as strings; the spec converts them.
+        ref = scenario_ref(
+            "philosophers", ordered="true", hold_steps="30", op="cyclic"
+        )
+        params = dict(ref.params)
+        assert params["ordered"] is True
+        assert params["hold_steps"] == 30
+        assert params["op"] == "cyclic"
+
+    def test_builder_without_seed_param_rejected(self):
+        registry = ScenarioRegistry()
+        with pytest.raises(ConfigError, match="seed"):
+            registry.register("bad", lambda: None)
+
+    def test_builder_without_param_default_rejected(self):
+        registry = ScenarioRegistry()
+        with pytest.raises(ConfigError, match="needs a default"):
+            registry.register("bad", lambda seed, size: None)
+
+
+class TestScenarioRef:
+    def test_ref_round_trips_through_pickle(self):
+        ref = scenario_ref("philosophers", op="cyclic", hold_steps=30)
+        clone = pickle.loads(pickle.dumps(ref))
+        assert clone == ref
+        # The unpickled ref resolves its builder through the registry
+        # (exactly what happens inside a worker process) and produces
+        # the same run as a direct build.
+        direct = build_scenario(
+            "philosophers", 0, op="cyclic", hold_steps=30
+        ).run()
+        via_ref = clone(0).run()
+        assert via_ref.found_bug == direct.found_bug
+        assert via_ref.ticks == direct.ticks
+        assert via_ref.commands_issued == direct.commands_issued
+
+    def test_params_are_order_canonical(self):
+        a = scenario_ref("philosophers", op="cyclic", chunk=2)
+        b = scenario_ref("philosophers", chunk=2, op="cyclic")
+        assert a == b and hash(a) == hash(b)
+
+    def test_with_params_overlays(self):
+        base = scenario_ref("philosophers", op="cyclic")
+        control = base.with_params(ordered=True)
+        assert dict(control.params)["ordered"] is True
+        assert dict(control.params)["op"] == "cyclic"
+        assert dict(base.params).get("ordered") is None
+
+    def test_describe(self):
+        ref = scenario_ref("clean_spin", tasks=2)
+        assert ref.describe() == "clean_spin(tasks=2)"
+
+    def test_custom_registry_refs_resolve_through_their_registry(self):
+        registry = ScenarioRegistry()
+        seen = []
+
+        @registry.register("philosophers")  # shadows the built-in name
+        def _fake(seed: int, op: str = "cyclic"):
+            seen.append((seed, op))
+
+            class _Run:
+                def run(self):
+                    return None
+
+            return _Run()
+
+        ref = registry.ref("philosophers", op="burst")
+        ref(7)
+        assert seen == [(7, "burst")]  # not the default registry's builder
+        assert ref.with_params(op="cyclic").registry is registry
+
+
+class TestWorkloadCatalogue:
+    @pytest.mark.parametrize(
+        "name", ["barrier", "readers_writers", "pipeline", "clean_spin"]
+    )
+    def test_new_scenarios_run_clean_by_default(self, name):
+        result = build_scenario(name, 0).run()
+        assert not result.found_bug, result.summary()
+
+    def test_faulty_barrier_starves(self):
+        result = build_scenario("barrier", 0, faulty=True).run()
+        assert result.found_bug
+        assert result.report.primary.kind is AnomalyKind.STARVATION
+
+    def test_clean_spin_duration_scales_and_stays_clean(self):
+        short = build_scenario("clean_spin", 0, total_steps=100).run()
+        long = build_scenario("clean_spin", 0, total_steps=2_000).run()
+        assert not short.found_bug and not long.found_bug
+        assert long.ticks > 4 * short.ticks  # the benchmarking knob
+
+    def test_philosophers_by_name_matches_direct(self):
+        from repro.workloads.scenarios import philosophers_case2
+
+        by_name = build_scenario("philosophers", 0, op="cyclic").run()
+        direct = philosophers_case2(seed=0, op="cyclic").run()
+        assert by_name.found_bug and direct.found_bug
+        assert by_name.ticks == direct.ticks
+
+
+def _ref_campaign(workers=1, batch_size=None, seeds=(0, 1, 2)):
+    campaign = Campaign(
+        seeds=seeds, workers=workers, batch_size=batch_size
+    )
+    campaign.add_scenario("cyclic", "philosophers", op="cyclic")
+    campaign.add_scenario("ordered", "philosophers", ordered=True)
+    return campaign
+
+
+class TestBatchedDeterminism:
+    def test_rows_identical_at_any_workers_and_batch_size(self):
+        with warnings.catch_warnings():
+            # Any pickling-fallback RuntimeWarning is a failure here.
+            warnings.simplefilter("error", RuntimeWarning)
+            baseline_campaign = _ref_campaign()
+            baseline = baseline_campaign.run()
+            for workers, batch_size in [(2, 1), (2, 2), (2, 100), (3, None)]:
+                campaign = _ref_campaign(workers, batch_size)
+                assert campaign.run() == baseline, (workers, batch_size)
+                # Per-run outcomes agree too, not just the summaries.
+                for variant in campaign.variants:
+                    assert [
+                        r.ticks for r in campaign.results[variant]
+                    ] == [
+                        r.ticks for r in baseline_campaign.results[variant]
+                    ]
+
+    def test_ref_variants_always_parallelise(self):
+        campaign = _ref_campaign(workers=2, seeds=(0, 1))
+        executor = CellExecutor(workers=2)
+        assert executor._portable(campaign.variants)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            cells = [
+                WorkCell(variant=name, seed=seed)
+                for name in campaign.variants
+                for seed in (0, 1)
+            ]
+            executor.run_cells(campaign.variants, cells)
+        assert executor.ran_parallel is True
+
+    def test_batch_packing_telemetry(self):
+        variants = {"spin": scenario_ref("clean_spin", total_steps=50, tasks=2)}
+        cells = [WorkCell(variant="spin", seed=s) for s in range(6)]
+        executor = CellExecutor(workers=2, batch_size=2)
+        executor.run_cells(variants, cells)
+        assert executor.last_batch_size == 2
+        assert executor.batches_submitted == 3
+        executor.run_cells(variants, cells, batch_size=4)
+        assert executor.last_batch_size == 4
+        assert executor.batches_submitted == 2
+
+    def test_bad_batch_size_rejected(self):
+        variants = {"spin": scenario_ref("clean_spin", total_steps=50)}
+        cells = [WorkCell(variant="spin", seed=s) for s in range(2)]
+        with pytest.raises(ValueError, match="batch_size"):
+            CellExecutor(workers=2, batch_size=0).run_cells(variants, cells)
+        # The serial path rejects it too (no silent acceptance).
+        with pytest.raises(ValueError, match="batch_size"):
+            CellExecutor(workers=1).run_cells(
+                variants, cells, batch_size=-3
+            )
+
+
+class TestResultSinks:
+    def test_sink_receives_cells_in_submission_order(self):
+        variants = {"spin": scenario_ref("clean_spin", total_steps=50, tasks=2)}
+        cells = [WorkCell(variant="spin", seed=s) for s in range(5)]
+        reference = CellExecutor(workers=1).run_cells(variants, cells)
+        for workers, batch_size in [(1, None), (2, 2)]:
+            sink = CollectSink()
+            returned = CellExecutor(
+                workers=workers, batch_size=batch_size
+            ).run_cells(variants, cells, sink=sink)
+            assert returned is None  # streaming mode materialises nothing
+            assert sink.cells == cells
+            assert [r.ticks for r in sink.results] == [
+                r.ticks for r in reference
+            ]
+
+    def test_campaign_streams_without_materializing(self):
+        campaign = _ref_campaign(workers=2, seeds=(0, 1))
+        campaign.keep_results = False
+        rows = campaign.run()
+        assert campaign.results == {}
+        reference = _ref_campaign(seeds=(0, 1)).run()
+        assert rows == reference
+        # The accessors read the streaming accumulators, not results.
+        assert campaign.detection_rate("cyclic") == 1.0
+        assert campaign.detection_rate("ordered") == 0.0
+        assert campaign.kind_counts("cyclic") == {"deadlock": 2}
+
+    def test_campaign_forwards_to_external_sink(self):
+        campaign = _ref_campaign(seeds=(0, 1))
+        sink = CollectSink()
+        campaign.run(sink=sink)
+        assert len(sink.results) == 4  # 2 variants x 2 seeds
+        assert [c.variant for c in sink.cells] == [
+            "cyclic", "cyclic", "ordered", "ordered",
+        ]
+
+
+class TestGridSweeps:
+    def test_add_grid_products_and_fixed_params(self):
+        campaign = Campaign(seeds=(0,))
+        names = campaign.add_grid(
+            "phil",
+            "philosophers",
+            {"op": ["cyclic", "round_robin"], "ordered": [False, True]},
+            hold_steps=30,
+        )
+        assert names == [
+            "phil[op=cyclic,ordered=False]",
+            "phil[op=cyclic,ordered=True]",
+            "phil[op=round_robin,ordered=False]",
+            "phil[op=round_robin,ordered=True]",
+        ]
+        for name in names:
+            assert dict(campaign.variants[name].params)["hold_steps"] == 30
+
+    def test_grid_campaign_detects_only_buggy_variants(self):
+        campaign = Campaign(seeds=(0, 1), workers=2)
+        campaign.add_grid(
+            "phil", "philosophers", {"ordered": [False, True]}
+        )
+        rows = {row.variant: row for row in campaign.run()}
+        assert rows["phil[ordered=False]"].rate == 1.0
+        assert rows["phil[ordered=True]"].rate == 0.0
+
+    def test_grid_duplicate_names_rejected(self):
+        campaign = Campaign()
+        campaign.add_grid("p", "philosophers", {"ordered": [True]})
+        with pytest.raises(ValueError, match="already registered"):
+            campaign.add_grid("p", "philosophers", {"ordered": [True]})
+
+    def test_grid_fixed_param_overlap_rejected(self):
+        campaign = Campaign()
+        with pytest.raises(ConfigError, match="both fixed and in the grid"):
+            campaign.add_grid(
+                "p", "philosophers", {"ordered": [False, True]}, ordered=True
+            )
+
+
+class TestCompareOps:
+    def test_registry_path_parallelises_and_scores(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            serial = compare_ops(
+                "philosophers",
+                ops=("cyclic", "burst"),
+                seeds=(0, 1),
+                expected=AnomalyKind.DEADLOCK,
+            )
+            parallel = compare_ops(
+                "philosophers",
+                ops=("cyclic", "burst"),
+                seeds=(0, 1),
+                expected=AnomalyKind.DEADLOCK,
+                workers=2,
+                batch_size=2,
+            )
+        assert serial == parallel
+        by_name = {row.variant: row for row in serial}
+        assert by_name["cyclic"].detections == 2
+
+    def test_legacy_callable_still_supported(self):
+        from repro.workloads.scenarios import philosophers_case2
+
+        rows = compare_ops(
+            lambda op, seed: philosophers_case2(seed=seed, op=op),
+            ops=("cyclic",),
+            seeds=(0,),
+            expected=AnomalyKind.DEADLOCK,
+        )
+        assert rows[0].detections == 1

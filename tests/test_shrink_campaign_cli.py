@@ -139,13 +139,21 @@ class TestCampaign:
 
     def test_compare_ops_scores_expected_kind(self):
         rows = compare_ops(
-            lambda op, seed: philosophers_case2(seed=seed, op=op),
+            "philosophers",
             ops=("cyclic", "burst"),
             seeds=(0, 1),
             expected=AnomalyKind.DEADLOCK,
         )
         by_name = {row.variant: row for row in rows}
         assert by_name["cyclic"].detections == 2
+
+    def test_campaign_scenario_variants(self):
+        campaign = Campaign(seeds=(0, 1))
+        campaign.add_scenario("buggy", "philosophers", op="cyclic")
+        campaign.add_scenario("fixed", "philosophers", ordered=True)
+        rows = {row.variant: row for row in campaign.run()}
+        assert rows["buggy"].rate == 1.0
+        assert rows["fixed"].rate == 0.0
 
 
 class TestCli:
@@ -183,6 +191,148 @@ class TestCli:
 
         assert main(["run", "-n", "2", "-s", "4", "--seed", "1"]) == 0
         assert "no anomaly" in capsys.readouterr().out
+
+    def test_run_scenario_by_name(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "philosophers", "-p", "op=cyclic"]) == 1
+        assert "deadlock" in capsys.readouterr().out
+
+    def test_run_scenario_param_override(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "philosophers", "-p", "ordered=true"]) == 0
+        assert "no anomaly" in capsys.readouterr().out
+
+    def test_run_unknown_scenario(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "no_such_scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().out
+
+    def test_run_malformed_param(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "philosophers", "-p", "ordered"]) == 2
+        assert "key=value" in capsys.readouterr().out
+
+    def test_run_scenario_rejects_explicit_form_flags(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "philosophers", "--max-ticks", "100"]) == 2
+        assert "--param" in capsys.readouterr().out
+
+    def test_run_explicit_form_rejects_param(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "-n", "2", "-p", "op=cyclic"]) == 2
+        assert "scenario name" in capsys.readouterr().out
+
+    def test_campaign_bad_batch_size_clean_error(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "campaign",
+                    "philosophers",
+                    "--seeds",
+                    "2",
+                    "--workers",
+                    "2",
+                    "--batch-size",
+                    "0",
+                ]
+            )
+            == 2
+        )
+        assert "batch_size" in capsys.readouterr().out
+
+    def test_run_builder_rejection_exits_2_not_1(self, capsys):
+        # Exit 1 means "bug found"; an out-of-range param must not
+        # masquerade as one.
+        from repro.cli import main
+
+        assert main(["run", "barrier", "-p", "parties=1"]) == 2
+        assert "parties must be >= 2" in capsys.readouterr().out
+
+    def test_campaign_repeated_grid_key_clean_error(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "campaign",
+                    "philosophers",
+                    "-g",
+                    "op=cyclic",
+                    "-g",
+                    "op=burst",
+                ]
+            )
+            == 2
+        )
+        assert "more than once" in capsys.readouterr().out
+
+    def test_campaign_repeated_grid_value_clean_error(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(["campaign", "philosophers", "-g", "op=cyclic,cyclic"]) == 2
+        )
+        assert "already registered" in capsys.readouterr().out
+
+    def test_campaign_fixed_and_grid_overlap_clean_error(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "campaign",
+                    "philosophers",
+                    "-p",
+                    "ordered=true",
+                    "-g",
+                    "ordered=false,true",
+                ]
+            )
+            == 2
+        )
+        assert "both fixed and in the grid" in capsys.readouterr().out
+
+    def test_scenarios_lists_registry(self, capsys):
+        from repro.cli import main
+
+        assert main(["scenarios"]) == 0
+        output = capsys.readouterr().out
+        for name in ("philosophers", "barrier", "pipeline", "clean_spin"):
+            assert name in output
+
+    def test_campaign_command_with_grid(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "campaign",
+                    "philosophers",
+                    "--seeds",
+                    "2",
+                    "--grid",
+                    "ordered=false,true",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "philosophers[ordered=false]" in output
+        assert "philosophers[ordered=true]" in output
+        assert "deadlock" in output
+
+    def test_campaign_unknown_scenario(self, capsys):
+        from repro.cli import main
+
+        assert main(["campaign", "no_such_scenario"]) == 2
 
     def test_sweep_unknown_fault(self, capsys):
         from repro.cli import main
