@@ -14,10 +14,19 @@ Times, on this machine:
    executor submitting one cell per future vs. batching many cells per
    worker submission (the sub-10ms-cell amortisation lever), on the
    registry's ``clean_spin`` workload.
-4. **Deadlock detection** — detector sweeps/sec of the legacy
+4. **Warm-pool dispatch** — cells/sec of a campaign dispatched through
+   a cold (freshly spawned) worker pool vs. the second run on a warm
+   persistent pool whose workers already hold their scenario/PFA
+   caches (the ``WorkerPool`` reuse lever).
+5. **Deadlock detection** — detector sweeps/sec of the legacy
    networkx-rebuild check vs. the incremental wait-for graph, in the
    steady state where mutex ownership is not changing (the common case
    between interleavings).
+
+Single-core machines cannot show a process-parallel speedup, so the
+``campaign`` and ``pool`` sections carry a ``skipped_parallel_floor``
+flag at ``cpu_count == 1`` — raw numbers stay in the JSON, but the
+ratios are startup noise there and CI floors skip them.
 
 Results are printed and persisted as machine-readable JSON at
 ``benchmarks/out/bench_perf_hotpaths.json`` (same directory as the text
@@ -48,6 +57,7 @@ from repro.pcore.testkit import create_task, run_service
 from repro.ptest.campaign import Campaign
 from repro.ptest.executor import CellExecutor, WorkCell
 from repro.ptest.pcore_model import pcore_pfa
+from repro.ptest.pool import WorkerPool, shutdown_pools
 from repro.ptest.waitgraph import IncrementalWaitForGraph
 from repro.workloads.registry import scenario_ref
 
@@ -128,6 +138,10 @@ def bench_campaign(quick: bool, workers: int) -> dict:
         "serial_cells_per_sec": round(cells / serial, 2),
         "parallel_cells_per_sec": round(cells / parallel, 2),
         "speedup": round(serial / parallel, 2),
+        # On a single core a process pool cannot beat serial for long
+        # cells — the ratio is pure pool-startup noise, so the CI floor
+        # skips it (the raw numbers above stay for the record).
+        "skipped_parallel_floor": os.cpu_count() == 1,
     }
 
 
@@ -180,6 +194,72 @@ def bench_campaign_batched(quick: bool, workers: int) -> dict:
         "per_cell_cells_per_sec": round(per_cell_rate, 2),
         "batched_cells_per_sec": round(batched_rate, 2),
         "speedup": round(batched_rate / per_cell_rate, 2),
+    }
+
+
+# -- layer 2c: warm-pool dispatch ----------------------------------------------
+
+
+def bench_pool(quick: bool, workers: int) -> dict:
+    """Cold-pool vs warm-pool dispatch over a 2-run campaign sequence.
+
+    The cold run pays worker-process startup and per-variant scenario
+    resolution/PFA compilation inside the timed window — what every
+    ``Campaign.run`` paid before the persistent pool existed.  The warm
+    run times the *second* dispatch through one reused
+    :class:`WorkerPool`, whose workers already exist and already hold
+    their caches.  Cell outcomes must be identical either way.
+    """
+    cell_count = 32 if quick else 96
+    reps = 3
+    variants = {
+        "spin": scenario_ref(
+            "clean_spin", tasks=2, total_steps=40 if quick else 80
+        )
+    }
+    cells = [WorkCell(variant="spin", seed=seed) for seed in range(cell_count)]
+
+    def dispatch(executor: CellExecutor) -> tuple[float, list]:
+        start = time.perf_counter()
+        results = executor.run_cells(variants, cells)
+        return time.perf_counter() - start, results
+
+    cold_best = warm_best = float("inf")
+    cold_results = warm_results = []
+    pool_reused = True
+    # Interleave the reps so machine-load drift hits both paths alike.
+    for _ in range(reps):
+        with WorkerPool(workers) as pool:  # spawn inside the timing
+            elapsed, cold_results = dispatch(
+                CellExecutor(workers=workers, pool=pool)
+            )
+        cold_best = min(cold_best, elapsed)
+        with WorkerPool(workers) as pool:
+            executor = CellExecutor(workers=workers, pool=pool)
+            dispatch(executor)  # warms workers + worker-side caches
+            first_pool_id = executor.last_pool_id
+            elapsed, warm_results = dispatch(executor)
+            pool_reused = pool_reused and (
+                executor.last_pool_id == first_pool_id
+            )
+        warm_best = min(warm_best, elapsed)
+    # Correctness guard: warm reuse must not change any cell's outcome.
+    assert [r.ticks for r in warm_results] == [
+        r.ticks for r in cold_results
+    ], "warm-pool execution diverged from cold-pool execution"
+    assert pool_reused, "second dispatch did not reuse the warm pool"
+    return {
+        "cells": cell_count,
+        "workers": workers,
+        "runs_per_sequence": 2,
+        "cold_dispatch_cells_per_sec": round(cell_count / cold_best, 2),
+        "warm_dispatch_cells_per_sec": round(cell_count / warm_best, 2),
+        "speedup": round(cold_best / warm_best, 2),
+        "pool_reused": pool_reused,
+        # One core serialises the workers themselves; the warm/cold
+        # ratio still mostly holds (startup is the term being removed)
+        # but the CI floor only gates multi-core machines.
+        "skipped_parallel_floor": os.cpu_count() == 1,
     }
 
 
@@ -283,16 +363,23 @@ def main(argv: list[str] | None = None) -> int:
         "sampling": bench_sampling(args.quick),
         "campaign": bench_campaign(args.quick, args.workers),
         "campaign_batched": bench_campaign_batched(args.quick, args.workers),
+        "pool": bench_pool(args.quick, args.workers),
         "detector": bench_detector(args.quick),
     }
+    single_core = os.cpu_count() == 1
     # Targets are the PR-1 acceptance goals; floors are what CI
     # (.github/workflows/ci.yml) actually gates on — keep them in sync.
+    # Floors recorded as met=None were skipped (single-core machine).
     results["criteria"] = {
         "sampling_speedup_target": 5.0,
         "sampling_speedup_met": results["sampling"]["speedup"] >= 5.0,
         "sampling_ci_floor": 3.0,
         "campaign_speedup_target": 2.0,
-        "campaign_speedup_met": results["campaign"]["speedup"] >= 2.0,
+        "campaign_speedup_met": (
+            None
+            if single_core
+            else results["campaign"]["speedup"] >= 2.0
+        ),
         "campaign_ci_floor": None,  # not gated: needs multi-core hardware
         # Batching amortises per-submission overhead, so it must never
         # be slower than per-cell dispatch, core count regardless.
@@ -300,21 +387,30 @@ def main(argv: list[str] | None = None) -> int:
         "campaign_batched_floor_met": (
             results["campaign_batched"]["speedup"] >= 1.0
         ),
+        # Warm-pool reuse removes pool startup + re-resolution from the
+        # dispatch path; on multi-core the second run of a sequence
+        # must be clearly faster than a cold-pool run.
+        "pool_warm_ci_floor": 1.5,
+        "pool_floor_met": (
+            None if single_core else results["pool"]["speedup"] >= 1.5
+        ),
         "detector_ci_floor": 5.0,
         "detector_floor_met": results["detector"]["speedup"] >= 5.0,
         "note": (
-            "campaign speedup needs >= workers physical cores; "
+            "campaign/pool speedups need >= workers physical cores; "
             f"this machine has {os.cpu_count()}"
         ),
     }
 
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(results, indent=2) + "\n")
+    shutdown_pools()  # deterministic teardown of the shared warm pool
 
-    sampling, campaign, batched, detector = (
+    sampling, campaign, batched, pool, detector = (
         results["sampling"],
         results["campaign"],
         results["campaign_batched"],
+        results["pool"],
         results["detector"],
     )
     print("== perf hot paths ==")
@@ -323,15 +419,31 @@ def main(argv: list[str] | None = None) -> int:
         f"{sampling['compiled_patterns_per_sec']:>10.0f} patterns/s  "
         f"({sampling['speedup']}x)"
     )
+    campaign_note = (
+        "  [floor skipped: 1 core]"
+        if campaign["skipped_parallel_floor"]
+        else ""
+    )
     print(
         f"campaign:  {campaign['serial_cells_per_sec']:>10.2f} -> "
         f"{campaign['parallel_cells_per_sec']:>10.2f} cells/s     "
         f"({campaign['speedup']}x at workers={campaign['workers']})"
+        f"{campaign_note}"
     )
     print(
         f"batching:  {batched['per_cell_cells_per_sec']:>10.2f} -> "
         f"{batched['batched_cells_per_sec']:>10.2f} cells/s     "
         f"({batched['speedup']}x at batch_size={batched['batch_size']})"
+    )
+    pool_note = (
+        "  [floor skipped: 1 core]"
+        if pool["skipped_parallel_floor"]
+        else ""
+    )
+    print(
+        f"pool:      {pool['cold_dispatch_cells_per_sec']:>10.2f} -> "
+        f"{pool['warm_dispatch_cells_per_sec']:>10.2f} cells/s     "
+        f"({pool['speedup']}x warm vs cold){pool_note}"
     )
     print(
         f"detector:  {detector['rebuild_sweeps_per_sec']:>10.0f} -> "

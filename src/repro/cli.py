@@ -10,6 +10,8 @@ Python:
                    optional parameter grid) through the batched
                    process-pool executor
 ``scenarios``      list the scenario registry with parameter specs
+``bench``          run the perf hot-path benchmark suite and print the
+                   JSON artifact path plus headline speedups
 ``stress``         test case 1 (GC crash, with --fixed-gc control)
 ``philosophers``   test case 2 (deadlock, choose --op / --ordered)
 ``fig1``           the Fig. 1 example (--order good|bad)
@@ -104,6 +106,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.analysis.text_report import render_campaign
     from repro.ptest.campaign import Campaign
+    from repro.ptest.pool import close_pool
 
     campaign = Campaign(
         seeds=tuple(range(args.seeds)),
@@ -141,6 +144,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         # cell-build time — config problems, not found bugs.
         print(error)
         return 2
+    finally:
+        if not args.keep_pool:
+            # Deterministic teardown of this campaign's shared pool
+            # only — an embedding caller's other warm pools survive.
+            # With --keep-pool even this one stays warm (the atexit
+            # hook reaps it eventually).
+            close_pool(args.workers)
     print(
         f"campaign: {args.scenario} over {args.seeds} seed(s), "
         f"workers={args.workers}"
@@ -156,6 +166,47 @@ def _cmd_scenarios(_args: argparse.Namespace) -> int:
         if spec.description:
             print(f"    {spec.description}")
     return 0
+
+
+def _load_bench_main():
+    """Import ``benchmarks/bench_perf_hotpaths.py`` from the repo tree.
+
+    The bench suite lives beside the package, not inside it, so the CLI
+    locates it relative to the source checkout; returns ``None`` when
+    the tree is not there (e.g. an installed wheel without benchmarks).
+    """
+    import importlib.util
+    from pathlib import Path
+
+    script = (
+        Path(__file__).resolve().parents[2]
+        / "benchmarks"
+        / "bench_perf_hotpaths.py"
+    )
+    if not script.is_file():
+        return None
+    spec = importlib.util.spec_from_file_location(
+        "repro_bench_perf_hotpaths", script
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.main
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    bench_main = _load_bench_main()
+    if bench_main is None:
+        print(
+            "benchmarks/bench_perf_hotpaths.py not found; `repro bench` "
+            "needs the source checkout (the bench suite is not installed "
+            "with the package)"
+        )
+        return 2
+    argv = []
+    if args.quick:
+        argv.append("--quick")
+    argv.extend(["--workers", str(args.workers)])
+    return bench_main(argv)
 
 
 def _cmd_stress(args: argparse.Namespace) -> int:
@@ -272,12 +323,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep a parameter over several values (repeatable; "
         "variants are the cartesian product)",
     )
+    campaign_p.add_argument(
+        "--keep-pool",
+        action="store_true",
+        help="leave the shared worker pool warm after the campaign "
+        "instead of shutting it down (for embedding callers that will "
+        "dispatch again)",
+    )
     campaign_p.set_defaults(func=_cmd_campaign)
 
     scenarios_p = sub.add_parser(
         "scenarios", help="list the scenario registry"
     )
     scenarios_p.set_defaults(func=_cmd_scenarios)
+
+    bench_p = sub.add_parser(
+        "bench", help="run the perf hot-path benchmark suite"
+    )
+    bench_p.add_argument(
+        "--quick",
+        action="store_true",
+        help="small iteration counts (the CI smoke configuration)",
+    )
+    bench_p.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="process-pool width for the campaign layers (default 4)",
+    )
+    bench_p.set_defaults(func=_cmd_bench)
 
     stress_p = sub.add_parser("stress", help="test case 1 (GC crash)")
     stress_p.add_argument("--seed", type=int, default=0)

@@ -18,6 +18,9 @@ the simulated OMAP platform:
   end on the simulated SoC.
 * :mod:`repro.ptest.pcore_model` — the pCore PFA of Fig. 5 with the
   paper's probabilities, and RE (2).
+* :mod:`repro.ptest.pool` — persistent, health-checked worker pools,
+  the deduped ScenarioRef-table batch wire format, and the worker-side
+  scenario/PFA caches behind parallel campaign dispatch.
 """
 
 from repro.ptest.config import PTestConfig
@@ -43,6 +46,14 @@ from repro.ptest.executor import (
     WorkCell,
     run_cell,
     run_cell_batch,
+)
+from repro.ptest.pool import (
+    WorkerPool,
+    close_pool,
+    get_pool,
+    make_batch_table,
+    run_table_batch,
+    shutdown_pools,
 )
 from repro.ptest.waitgraph import IncrementalWaitForGraph, find_cycle_edges
 from repro.ptest.replay import parse_merged_description, replay_report_dict
@@ -86,6 +97,12 @@ __all__ = [
     "WorkCell",
     "run_cell",
     "run_cell_batch",
+    "WorkerPool",
+    "close_pool",
+    "get_pool",
+    "make_batch_table",
+    "run_table_batch",
+    "shutdown_pools",
     "IncrementalWaitForGraph",
     "find_cycle_edges",
     "parse_merged_description",

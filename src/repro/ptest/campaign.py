@@ -28,6 +28,7 @@ from repro.ptest.executor import (
     WorkCell,
 )
 from repro.ptest.harness import AdaptiveTest, TestRunResult
+from repro.ptest.pool import WorkerPool
 from repro.workloads.registry import ScenarioRef, scenario_ref
 
 
@@ -105,14 +106,20 @@ class _CampaignSink:
 class Campaign:
     """A named set of scenario variants, each swept over seeds.
 
-    ``workers`` sets the default parallelism of :meth:`run`: ``1`` runs
-    every (variant, seed) cell serially in this process, ``n > 1`` fans
-    the cells out over a process pool in batches of ``batch_size``
-    cells per submission (see
-    :class:`~repro.ptest.executor.CellExecutor`).  Cells are
-    independent — each run derives all its randomness from its own
-    seed — and results are aggregated in submission order, so the
-    summary rows are identical at any ``(workers, batch_size)``.
+    ``workers`` sets the default parallelism of :meth:`run`: ``None``
+    (the default) derives it from ``pool`` when one is given and
+    otherwise runs serially, ``1`` forces every (variant, seed) cell
+    serially in this process even when a pool is configured, ``n > 1``
+    fans the cells out over a persistent worker pool in batches of
+    ``batch_size`` cells per submission (see
+    :class:`~repro.ptest.executor.CellExecutor`).  By default that is
+    the process-wide shared :class:`~repro.ptest.pool.WorkerPool` for
+    ``workers``, so consecutive :meth:`run` calls reuse warm worker
+    processes (and their per-variant scenario caches); pass ``pool=``
+    for explicit lifetime control.  Cells are independent — each run
+    derives all its randomness from its own seed — and results are
+    aggregated in submission order, so the summary rows are identical
+    at any ``(workers, batch_size)``, warm or cold.
 
     Prefer :meth:`add_scenario` / :meth:`add_grid` (registry-backed
     :class:`~repro.workloads.registry.ScenarioRef` variants, always
@@ -128,9 +135,14 @@ class Campaign:
     seeds: Iterable[int] = (0, 1, 2, 3, 4)
     variants: dict[str, ScenarioBuilder] = field(default_factory=dict)
     results: dict[str, list[TestRunResult]] = field(default_factory=dict)
-    workers: int = 1
+    workers: int | None = None
     batch_size: int | None = None
+    pool: "WorkerPool | None" = None
     keep_results: bool = True
+    #: ``WorkerPool.pool_id`` the last :meth:`run` dispatched through
+    #: (``None`` after a serial run) — equal ids across runs certify
+    #: warm-pool reuse.
+    last_pool_id: int | None = field(default=None, init=False)
     #: Per-variant streaming aggregates of the last :meth:`run` — what
     #: :meth:`detection_rate` / :meth:`kind_counts` consult, so those
     #: accessors stay correct with ``keep_results=False``.
@@ -212,12 +224,15 @@ class Campaign:
         fan_out: ResultSink = campaign_sink
         if sink is not None:
             fan_out = _TeeSink((campaign_sink, sink))
-        CellExecutor(
+        executor = CellExecutor(
             workers=effective,
             batch_size=(
                 self.batch_size if batch_size is None else batch_size
             ),
-        ).run_cells(self.variants, cells, sink=fan_out)
+            pool=self.pool,
+        )
+        executor.run_cells(self.variants, cells, sink=fan_out)
+        self.last_pool_id = executor.last_pool_id
         if retained is not None:
             self.results.update(retained)
         self._accumulators.update(accumulators)
@@ -261,8 +276,9 @@ def compare_ops(
     seeds: Iterable[int],
     expected: AnomalyKind,
     *,
-    workers: int = 1,
+    workers: int | None = None,
     batch_size: int | None = None,
+    pool: WorkerPool | None = None,
     params: Mapping[str, Any] | None = None,
 ) -> list[CampaignRow]:
     """Convenience: one campaign variant per merge op, detections scored
@@ -276,7 +292,7 @@ def compare_ops(
     picklable itself to leave the serial path).
     """
     campaign = Campaign(
-        seeds=tuple(seeds), workers=workers, batch_size=batch_size
+        seeds=tuple(seeds), workers=workers, batch_size=batch_size, pool=pool
     )
     if isinstance(scenario, str):
         for op in ops:

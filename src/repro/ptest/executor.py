@@ -6,9 +6,9 @@ Cells share no state — every run seeds its own RNG streams from the
 cell's seed — so they parallelise embarrassingly.
 
 :class:`CellExecutor` dispatches cells either in-process (``workers=1``,
-the deterministic serial fallback) or across a
-:class:`concurrent.futures.ProcessPoolExecutor`.  Three properties
-define the execution model:
+the deterministic serial fallback) or across a persistent
+:class:`~repro.ptest.pool.WorkerPool`.  Four properties define the
+execution model:
 
 * **Portable variants.**  The preferred variant payload is a
   :class:`~repro.workloads.registry.ScenarioRef` — a picklable
@@ -18,11 +18,23 @@ define the execution model:
   are still accepted; ones that cannot be pickled degrade to the
   serial path with a :class:`RuntimeWarning` (detected up front with a
   pickle probe, never mid-campaign).
+* **Warm pools.**  Parallel runs submit to a
+  :class:`~repro.ptest.pool.WorkerPool` — either one passed explicitly
+  (``pool=``) or the process-wide shared pool for the requested worker
+  count (:func:`~repro.ptest.pool.get_pool`) — so back-to-back
+  ``run_cells`` / ``Campaign.run`` calls reuse warm worker processes
+  (and their scenario caches) instead of paying pool startup every
+  time.  A pool broken by a dying worker is respawned and the affected
+  batches resubmitted; only a batch that keeps killing its worker
+  propagates the failure.
 * **Batching.**  Cells are grouped into per-worker batches
   (``batch_size``; ``None`` picks a heuristic from the cell count and
   worker count), amortising pickle/submission overhead that dominates
-  sub-10ms cells.  Batching never changes results — only how cells are
-  packed into pool submissions.
+  sub-10ms cells.  On the wire a batch is a deduped *ScenarioRef
+  table* — each distinct builder pickled once plus compact
+  ``(table_index, seed)`` rows (see :mod:`repro.ptest.pool`).
+  Batching never changes results — only how cells are packed into pool
+  submissions.
 * **Streaming sinks.**  Pass a :class:`ResultSink` and each
   ``(cell, result)`` pair is delivered as soon as it is available — in
   *submission order*, never completion order, so downstream
@@ -36,7 +48,8 @@ from __future__ import annotations
 import pickle
 import warnings
 from collections import deque
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import CancelledError, Future
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
@@ -46,6 +59,8 @@ from typing import (
     Sequence,
     runtime_checkable,
 )
+
+from repro.ptest.pool import WorkerPool, get_pool, make_batch_table, run_table_batch
 
 if TYPE_CHECKING:  # circular at runtime: harness -> detector -> ...
     from repro.ptest.harness import AdaptiveTest, TestRunResult
@@ -102,11 +117,13 @@ def run_cell_batch(
 ) -> list["TestRunResult"]:
     """Run a batch of (builder, seed) jobs; one pool submission's work.
 
-    Module-level so it pickles to workers.  When a job's builder is a
-    :class:`~repro.workloads.registry.ScenarioRef` only its
-    ``(name, params)`` crossed the process boundary — calling it here
-    resolves the actual scenario builder from the registry inside the
-    worker.
+    The *legacy, uncached* batch form, kept for external callers: the
+    executor itself now ships batches via
+    :func:`~repro.ptest.pool.make_batch_table` /
+    :func:`~repro.ptest.pool.run_table_batch` (deduped builders,
+    worker-side scenario/PFA caches).  This plain loop stays free of
+    side effects — it never touches the process-global worker cache,
+    so calling it in a parent process leaves nothing to invalidate.
     """
     return [builder(seed).run() for builder, seed in jobs]
 
@@ -126,32 +143,48 @@ class CellExecutor:
     Parameters
     ----------
     workers:
-        Degree of parallelism.  ``1`` (the default) runs every cell in
-        this process; ``n > 1`` fans batches of cells out over up to
-        ``n`` processes.  Whatever the value, results are delivered in
-        submission order, so output is deterministic given the seeds.
+        Degree of parallelism.  ``None`` (the default) derives it from
+        ``pool`` when one is given (handing over a multi-worker pool
+        *is* the parallelism request) and otherwise runs serially;
+        ``1`` forces every cell in-process even when a pool is
+        configured (debuggers, monkeypatched builders); ``n > 1`` fans
+        batches of cells out over up to ``n`` processes.  Whatever the
+        value, results are delivered in submission order, so output is
+        deterministic given the seeds.
     batch_size:
         Cells per pool submission.  ``None`` (the default) picks
         ``ceil(len(cells) / (4 * workers))`` capped at
         :data:`MAX_AUTO_BATCH` — roughly four waves per worker, enough
         to amortise pickle/startup cost for sub-10ms cells while still
         load-balancing.  Ignored on the serial path.
+    pool:
+        The :class:`~repro.ptest.pool.WorkerPool` to submit to.
+        ``None`` (the default) acquires the process-wide shared pool
+        for ``workers`` via :func:`~repro.ptest.pool.get_pool`, so
+        consecutive runs reuse warm workers; pass an explicit pool for
+        deterministic lifetime control (its width governs the actual
+        process count).
 
     After :meth:`run_cells` returns, ``ran_parallel`` records which
     path executed — ``False`` plus a :class:`RuntimeWarning` when
     parallelism was requested but a builder could not be pickled — and
-    ``last_batch_size`` / ``batches_submitted`` record how the cells
-    were packed.
+    ``last_batch_size`` / ``batches_submitted`` / ``last_pool_id``
+    record how the cells were packed and which pool ran them.
     """
 
-    workers: int = 1
+    workers: int | None = None
     batch_size: int | None = None
+    pool: "WorkerPool | None" = None
     #: Which path the last :meth:`run_cells` took (None before any run).
     ran_parallel: bool | None = None
     #: Effective batch size of the last parallel run (None = serial).
     last_batch_size: int | None = None
     #: Pool submissions made by the last parallel run.
     batches_submitted: int = 0
+    #: ``WorkerPool.pool_id`` the last parallel run dispatched through
+    #: (None = serial); equal across runs means the warm pool was
+    #: reused, a change means cold start or dead-worker respawn.
+    last_pool_id: int | None = None
 
     def run_cells(
         self,
@@ -178,16 +211,30 @@ class CellExecutor:
             raise ValueError(f"batch_size must be >= 1, got {requested}")
         self.last_batch_size = None
         self.batches_submitted = 0
-        if self.workers > 1 and len(cells) > 1:
+        self.last_pool_id = None
+        # workers=None defers to the pool: handing over a multi-worker
+        # pool is itself the parallelism request.  An explicit 1 always
+        # wins — in-process execution stays reachable for debugging.
+        effective_workers = self.workers
+        if effective_workers is None:
+            effective_workers = (
+                self.pool.workers if self.pool is not None else 1
+            )
+        if effective_workers > 1 and len(cells) > 1:
             if self._portable(builders):
                 self.ran_parallel = True
                 return self._run_parallel(
-                    builders, cells, batch_size=batch_size, sink=sink
+                    builders,
+                    cells,
+                    workers=effective_workers,
+                    batch_size=batch_size,
+                    sink=sink,
                 )
             warnings.warn(
-                f"workers={self.workers} requested but a scenario builder "
-                "cannot be pickled (lambda/closure?); register it and pass "
-                "a ScenarioRef to parallelise — running cells serially",
+                f"parallel dispatch over {effective_workers} workers "
+                "requested but a scenario builder cannot be pickled "
+                "(lambda/closure?); register it and pass a ScenarioRef "
+                "to parallelise — running cells serially",
                 RuntimeWarning,
                 stacklevel=2,
             )
@@ -206,73 +253,134 @@ class CellExecutor:
         return all(_picklable(builder) for builder in builders.values())
 
     def _resolve_batch_size(
-        self, cell_count: int, batch_size: int | None
+        self, cell_count: int, batch_size: int | None, workers: int | None = None
     ) -> int:
         effective = (
             batch_size if batch_size is not None else self.batch_size
         )
         if effective is None:
             # ~4 waves per worker: amortisation vs. load balance.
-            effective = -(-cell_count // (4 * self.workers))
+            width = workers if workers is not None else (self.workers or 1)
+            effective = -(-cell_count // (4 * width))
             effective = min(effective, MAX_AUTO_BATCH)
         # run_cells already rejected explicit values < 1.
         return max(1, min(effective, cell_count))
+
+    #: Pool respawns tolerated without delivering a single batch in
+    #: between before the break is re-raised.  The parent cannot tell
+    #: *which* in-flight batch killed a worker (the first-drained
+    #: future reports every break), so the budget is per run and resets
+    #: on progress: a few transient deaths are absorbed wherever they
+    #: came from, while a deterministically lethal batch — which breaks
+    #: every fresh pool before anything is delivered — still surfaces
+    #: after this many respawns.
+    MAX_POOL_RESPAWNS = 3
 
     def _run_parallel(
         self,
         builders: Mapping[str, ScenarioBuilder],
         cells: Sequence[WorkCell],
         *,
+        workers: int,
         batch_size: int | None,
         sink: ResultSink | None,
     ) -> list["TestRunResult"] | None:
-        size = self._resolve_batch_size(len(cells), batch_size)
+        pool = self.pool if self.pool is not None else get_pool(workers)
+        # An explicit pool's width governs the actual process count, so
+        # batch packing and the in-flight window follow it, not the
+        # executor's own `workers` (they agree for shared pools).
+        width = pool.workers
+        size = self._resolve_batch_size(len(cells), batch_size, width)
         self.last_batch_size = size
         batches = [
             list(cells[start : start + size])
             for start in range(0, len(cells), size)
         ]
         self.batches_submitted = len(batches)
-        max_workers = min(self.workers, len(batches))
         results: list["TestRunResult"] | None = (
             None if sink is not None else []
         )
+
+        def submit(
+            batch: list[WorkCell],
+        ) -> tuple["Future", int | None]:
+            # The wire format: each distinct builder once, then compact
+            # (table_index, seed) rows — N same-variant cells pickle
+            # their ScenarioRef a single time.  The pool id tagged at
+            # submission names the future's executor generation, so a
+            # later break notification cannot tear down a fresh pool.
+            table, jobs = make_batch_table(
+                [builders[cell.variant] for cell in batch],
+                [cell.seed for cell in batch],
+            )
+            future, pool_id = pool.submit_tagged(run_table_batch, table, jobs)
+            # Refresh on every submission: submit_tagged respawns a
+            # broken pool silently, and telemetry must name the pool
+            # that actually took the work.
+            self.last_pool_id = pool_id
+            return future, pool_id
+
         # Keep at most ~2 batches per worker in flight: enough queued
         # work that no worker idles between batches, while undrained
         # result payloads stay bounded by the window, not the campaign
         # size (the constant-memory contract of sink streaming).
-        window = 2 * max_workers
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            pending: deque[tuple[list[WorkCell], "Future"]] = deque()
-            cursor = 0
+        window = 2 * min(width, len(batches))
+        pending: deque[tuple[list[WorkCell], "Future", int | None]] = deque()
+        cursor = 0
 
-            def top_up() -> None:
-                nonlocal cursor
-                while cursor < len(batches) and len(pending) < window:
-                    batch = batches[cursor]
-                    cursor += 1
-                    pending.append(
-                        (
-                            batch,
-                            pool.submit(
-                                run_cell_batch,
-                                [
-                                    (builders[cell.variant], cell.seed)
-                                    for cell in batch
-                                ],
-                            ),
-                        )
-                    )
+        def top_up() -> None:
+            nonlocal cursor
+            while cursor < len(batches) and len(pending) < window:
+                batch = batches[cursor]
+                cursor += 1
+                pending.append((batch, *submit(batch)))
 
-            # Drain in submission order: later batches may finish first,
-            # but delivery (and therefore aggregation) never reorders.
-            top_up()
+        # Drain in submission order: later batches may finish first,
+        # but delivery (and therefore aggregation) never reorders.
+        top_up()
+        respawns_without_progress = 0
+        try:
             while pending:
-                batch, future = pending.popleft()
-                for cell, result in zip(batch, future.result()):
+                batch, future, submitted_to = pending.popleft()
+                try:
+                    batch_results = future.result()
+                except (BrokenProcessPool, CancelledError):
+                    # A worker died, killing its pool and every future
+                    # still on it — or the executor was retired under
+                    # us (a mid-run registry version bump), cancelling
+                    # queued futures.  Either way: respawn and resubmit
+                    # all pending batches (deterministic cells re-run
+                    # identically), within the
+                    # MAX_POOL_RESPAWNS-without-progress budget.
+                    # Pending futures that survived on a younger pool
+                    # are cancelled first — their batches are
+                    # resubmitted, so letting the originals run would
+                    # only burn the shared workers twice.
+                    if respawns_without_progress >= self.MAX_POOL_RESPAWNS:
+                        raise
+                    respawns_without_progress += 1
+                    pool.notify_broken(submitted_to)
+                    stale = [batch]
+                    for other, other_future, _id in pending:
+                        other_future.cancel()
+                        stale.append(other)
+                    pending = deque(
+                        (other, *submit(other)) for other in stale
+                    )
+                    continue
+                respawns_without_progress = 0
+                for cell, result in zip(batch, batch_results):
                     if sink is not None:
                         sink.accept(cell, result)
                     else:
                         results.append(result)
                 top_up()
+        except BaseException:
+            # Aborting (a cell raised, retries exhausted, KeyboardInt):
+            # the pool outlives this run, so stop queued batches from
+            # burning the shared workers on work nobody will read.
+            # Already-running batches finish on their own.
+            for _batch, future, _id in pending:
+                future.cancel()
+            raise
         return results

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.automata.compiled import CompiledPFA
 from repro.automata.dfa import DFA, minimize_dfa, nfa_to_dfa
 from repro.automata.distributions import TransitionDistribution
 from repro.automata.nfa import regex_to_nfa
@@ -100,12 +101,18 @@ class PatternGenerator:
     @classmethod
     def from_pfa(
         cls,
-        pfa: PFA,
+        pfa: PFA | CompiledPFA,
         seed: int | None = None,
         on_final: OnFinal = "stop",
     ) -> "PatternGenerator":
         """Bypass the RE pipeline and sample a hand-built PFA (used for
-        the exact Fig. 5 automaton)."""
+        the exact Fig. 5 automaton).
+
+        Accepts a prebuilt :class:`CompiledPFA` too, so callers that
+        cache one compilation across many generators (the worker-side
+        caches of :mod:`repro.ptest.pool`) skip the per-run
+        recompilation; seeded output is identical either way.
+        """
         generator = cls.__new__(cls)
         generator.regex = ""
         generator.distribution = None
@@ -113,7 +120,7 @@ class PatternGenerator:
         generator.seed = seed
         generator.on_final = on_final
         generator.minimize = False
-        generator.pfa = pfa
+        generator.pfa = pfa.source if isinstance(pfa, CompiledPFA) else pfa
         generator.dfa = None  # type: ignore[assignment]
         generator._sampler = PatternSampler(pfa, seed=seed, on_final=on_final)
         generator.generated = 0

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
+from repro.automata.compiled import CompiledPFA
 from repro.automata.pfa import PFA
 from repro.bridge.bridge import build_bridge
 from repro.pcore.kernel import PCoreKernel
@@ -83,10 +84,12 @@ class AdaptiveTest:
         Extra slave task programs to register, by name; the config's
         ``program`` field selects which one created tasks run.
     pfa:
-        Override the generator's automaton (a hand-built PFA); by
-        default RE (2) with ``use_paper_distribution`` uses the Fig. 5
-        PFA, anything else goes through the regex pipeline with uniform
-        rows.
+        Override the generator's automaton — a hand-built PFA, or an
+        already-compiled :class:`CompiledPFA` (cached pool workers
+        substitute one here to skip per-run recompilation; sampling is
+        bit-identical).  By default RE (2) with
+        ``use_paper_distribution`` uses the Fig. 5 PFA, anything else
+        goes through the regex pipeline with uniform rows.
     setup:
         Optional hook called with the kernel before the run starts
         (pre-creating semaphores, seeding shared memory, ...).
@@ -94,7 +97,7 @@ class AdaptiveTest:
 
     config: PTestConfig
     programs: Mapping[str, TaskProgram] = field(default_factory=dict)
-    pfa: PFA | None = None
+    pfa: PFA | CompiledPFA | None = None
     setup: Callable[[PCoreKernel], None] | None = None
     tracer: Tracer = field(default_factory=Tracer)
     #: When set, skip generation/merging and replay exactly this merged
@@ -102,14 +105,29 @@ class AdaptiveTest:
     #: baseline and by reproduction of externally crafted interleavings.
     merged_override: "MergedPattern | None" = None
 
-    def _build_generator(self, seed: int) -> PatternGenerator:
+    def pattern_pfa(self) -> PFA | CompiledPFA | None:
+        """The automaton the generator will walk, ``None`` for the regex
+        pipeline.
+
+        This is the substitution point the worker-side cache of
+        :mod:`repro.ptest.pool` uses: it reads the PFA a freshly-built
+        test would construct, compiles it once per ``ScenarioRef`` cache
+        key, and assigns the compiled form back to ``self.pfa`` so every
+        later seed of the same variant skips recompilation.
+        """
         if self.pfa is not None:
-            return PatternGenerator.from_pfa(self.pfa, seed=seed)
+            return self.pfa
         if (
             self.config.use_paper_distribution
             and self.config.regex == PCORE_REGULAR_EXPRESSION
         ):
-            return PatternGenerator.from_pfa(pcore_pfa(), seed=seed)
+            return pcore_pfa()
+        return None
+
+    def _build_generator(self, seed: int) -> PatternGenerator:
+        pfa = self.pattern_pfa()
+        if pfa is not None:
+            return PatternGenerator.from_pfa(pfa, seed=seed)
         return PatternGenerator(
             regex=self.config.regex,
             alphabet=self.config.alphabet,

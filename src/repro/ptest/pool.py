@@ -1,0 +1,463 @@
+"""Persistent worker pools and the ScenarioRef-table batch format.
+
+Before this subsystem existed every :meth:`CellExecutor.run_cells` call
+constructed (and tore down) its own ``ProcessPoolExecutor`` and shipped
+each cell as a fresh ``(builder, seed)`` pickle, and every worker
+re-resolved its scenario and recompiled its sampling automaton from
+scratch on every cell.  For campaign cells in the low-millisecond range
+that overhead dominates the actual work.  Three amortisation layers fix
+it:
+
+* **Warm pools.**  :class:`WorkerPool` wraps a lazily-created
+  ``ProcessPoolExecutor`` that survives across ``run_cells`` /
+  ``Campaign.run`` / ``compare_ops`` calls.  :func:`get_pool` hands out
+  one shared pool per worker count; pools are health-checked on use
+  (a dead worker breaks a process pool — the wrapper discards the
+  broken executor and respawns a fresh one) and are explicitly
+  closable, via context manager for deterministic test shutdown or the
+  module-level :func:`shutdown_pools` which also runs at interpreter
+  exit.
+
+* **ScenarioRef batch tables.**  A batch crosses the process boundary
+  as ``(builders, jobs)`` where ``builders`` lists each *distinct*
+  builder once and ``jobs`` is a compact ``(builder_index, seed)``
+  table — N seeds of one variant pickle its
+  :class:`~repro.workloads.registry.ScenarioRef` once, not N times.
+  :func:`run_table_batch` is the worker-side entry point.
+
+* **Worker-side caches.**  Inside each worker process,
+  :func:`run_table_batch` memoizes per
+  :attr:`~repro.workloads.registry.ScenarioRef.cache_key` — i.e. per
+  ``(scenario_name, sorted_params)`` — the resolved registry builder
+  with its validated parameters, and the
+  :class:`~repro.automata.compiled.CompiledPFA` of the scenario's
+  pattern automaton.  N seeds of the same variant therefore pay
+  registry resolution, parameter validation and PFA compilation once
+  per worker instead of N times.  The cache never changes results: the
+  compiled automaton is only substituted after an equality check
+  against the PFA the fresh test actually built (a builder whose PFA
+  varied — by seed, say — would simply recompile), and compiled
+  sampling is bit-identical to the uncompiled walk by construction.
+
+Every layer preserves the executor's correctness bar: campaign output
+is row-for-row identical at any ``(workers, batch_size, warm/cold)``
+configuration.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.automata.compiled import CompiledPFA
+from repro.ptest.harness import AdaptiveTest
+
+if TYPE_CHECKING:
+    from repro.ptest.executor import ScenarioBuilder
+    from repro.ptest.harness import TestRunResult
+    from repro.workloads.registry import ScenarioRef
+
+#: Monotonic id source for pool spawns (process-local); lets callers
+#: observe "same warm pool" vs "respawned" without poking internals.
+_POOL_SEQ = 0
+_POOL_SEQ_LOCK = threading.Lock()
+
+
+def _next_pool_id() -> int:
+    global _POOL_SEQ
+    with _POOL_SEQ_LOCK:
+        _POOL_SEQ += 1
+        return _POOL_SEQ
+
+
+class WorkerPool:
+    """A persistent, health-checked process pool.
+
+    Parameters
+    ----------
+    workers:
+        Worker-process count of the underlying pool.
+
+    The wrapped ``ProcessPoolExecutor`` is created lazily on first
+    :meth:`submit` and reused by every later submission — including
+    across separate ``run_cells`` / ``Campaign.run`` calls — until
+    :meth:`close`.  A pool whose worker died (``BrokenProcessPool``) is
+    discarded and respawned transparently on the next submission;
+    callers draining in-flight futures report the break via
+    :meth:`notify_broken` and resubmit.
+
+    Observability: :attr:`pool_id` identifies the live executor (stable
+    across reuse, changes on respawn), :attr:`spawns` counts executor
+    creations.  Use as a context manager for deterministic shutdown::
+
+        with WorkerPool(workers=4) as pool:
+            CellExecutor(workers=4, pool=pool).run_cells(...)
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._executor: ProcessPoolExecutor | None = None
+        self._pool_id: int | None = None
+        self._spawns = 0
+        self._closed = False
+        self._lock = threading.Lock()
+        self._registry_version: int | None = None
+
+    @property
+    def pool_id(self) -> int | None:
+        """Id of the live executor (``None`` before first use)."""
+        return self._pool_id
+
+    @property
+    def spawns(self) -> int:
+        """How many executors this pool has created (respawns included)."""
+        return self._spawns
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        # Workers snapshot the scenario registry when they are spawned;
+        # a registration made after that would be unresolvable inside
+        # warm workers, so a version bump transparently retires them
+        # (the freshly-spawned replacements see the new scenario).
+        # Note this — like dynamic (non-module-level) registrations
+        # resolving in workers at all, on every pool this repo has ever
+        # used — relies on the ``fork`` start method copying the parent
+        # registry; under ``spawn``/``forkserver`` only module-level
+        # ``@scenario`` registrations reach workers, fresh or not.
+        from repro.workloads.registry import REGISTRY
+
+        if (
+            self._executor is not None
+            and self._registry_version != REGISTRY.version
+        ):
+            self._discard()
+        if self._executor is None:
+            # Load the built-in scenarios *before* forking: workers
+            # inherit the populated registry, and the version recorded
+            # here already includes the load's registrations.
+            REGISTRY.names()
+            self._registry_version = REGISTRY.version
+            # clear_worker_cache as initializer: forked workers would
+            # otherwise inherit whatever cache the *parent* built by
+            # calling run_table_batch in-process, which the registry
+            # version bump cannot invalidate.  Workers always start
+            # cold and build their own entries.
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, initializer=clear_worker_cache
+            )
+            self._pool_id = _next_pool_id()
+            self._spawns += 1
+        return self._executor
+
+    def _discard(self) -> None:
+        if self._executor is not None:
+            # Broken (worker died) or retired (stale registry): don't
+            # wait either way.  Queued futures get cancelled; dispatch
+            # loops treat that CancelledError like a break and resubmit
+            # the affected batches on the replacement executor.
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any) -> Future:
+        """Submit work, respawning the pool first if it is broken."""
+        return self.submit_tagged(fn, *args)[0]
+
+    def submit_tagged(
+        self, fn: Callable[..., Any], /, *args: Any
+    ) -> tuple[Future, int | None]:
+        """:meth:`submit` plus the id of the executor that took the work.
+
+        Future and id are read under one lock acquisition, so the tag
+        is exact even when another thread respawns the pool around this
+        call — the executor's break-retry logic feeds it back to
+        :meth:`notify_broken` to avoid tearing down a fresh pool on a
+        stale report.
+        """
+        with self._lock:
+            try:
+                future = self._ensure().submit(fn, *args)
+            except BrokenProcessPool:
+                self._discard()
+                future = self._ensure().submit(fn, *args)
+            return future, self._pool_id
+
+    def notify_broken(self, pool_id: int | None = None) -> None:
+        """Tell the pool a drained future raised ``BrokenProcessPool``.
+
+        Discards the dead executor so the next :meth:`submit` respawns;
+        the caller owns resubmission of any work it had in flight.
+        ``pool_id`` (when given) names the executor the caller actually
+        observed breaking — a stale notification about an executor that
+        was already replaced is then a no-op, so one thread's respawn
+        is never torn down by another thread reporting the same death.
+        """
+        with self._lock:
+            if pool_id is not None and pool_id != self._pool_id:
+                return  # that executor is already gone
+            self._discard()
+
+    def ping(self) -> bool:
+        """Round-trip a no-op through a worker (health probe).
+
+        Respawns a broken pool as a side effect; returns ``True`` once
+        a worker answered.
+        """
+        return self.submit(_pong).result() is True
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the pool down; further submissions raise."""
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=wait, cancel_futures=True)
+                self._executor = None
+            self._closed = True
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else (
+            f"id={self._pool_id}" if self._executor else "cold"
+        )
+        return f"WorkerPool(workers={self.workers}, {state})"
+
+
+def _pong() -> bool:
+    """Worker-side no-op for :meth:`WorkerPool.ping`."""
+    return True
+
+
+# -- shared pools --------------------------------------------------------------
+
+_SHARED: dict[int, WorkerPool] = {}
+_SHARED_LOCK = threading.Lock()
+
+
+def get_pool(workers: int) -> WorkerPool:
+    """The process-wide shared pool for ``workers`` worker processes.
+
+    Executors and campaigns that were not handed an explicit pool
+    acquire theirs here, which is what makes back-to-back
+    ``Campaign.run`` calls reuse one warm pool.  A shared pool that was
+    closed (directly or via :func:`shutdown_pools`) is replaced with a
+    fresh one on the next acquisition.
+    """
+    with _SHARED_LOCK:
+        pool = _SHARED.get(workers)
+        if pool is None or pool.closed:
+            pool = WorkerPool(workers)
+            _SHARED[workers] = pool
+        return pool
+
+
+def active_pools() -> list[WorkerPool]:
+    """Snapshot of the currently-registered shared pools (open or not) —
+    lets callers (CLI teardown, tests) observe what :func:`get_pool`
+    has handed out without creating anything."""
+    with _SHARED_LOCK:
+        return list(_SHARED.values())
+
+
+def close_pool(workers: int, wait: bool = True) -> None:
+    """Close and deregister the shared pool for ``workers``, if any.
+
+    The targeted form of :func:`shutdown_pools` — a caller that only
+    used one width (the CLI, say) tears its own pool down without
+    destroying warm pools other parts of the process still hold.
+    """
+    with _SHARED_LOCK:
+        pool = _SHARED.pop(workers, None)
+    if pool is not None:
+        pool.close(wait=wait)
+
+
+def shutdown_pools(wait: bool = True) -> None:
+    """Close every shared pool (idempotent; also runs at exit).
+
+    Long-lived embedders (test suites, services) can call this between
+    phases for deterministic worker teardown; the next :func:`get_pool`
+    starts cold again.
+    """
+    with _SHARED_LOCK:
+        pools = list(_SHARED.values())
+        _SHARED.clear()
+    for pool in pools:
+        pool.close(wait=wait)
+
+
+atexit.register(shutdown_pools)
+
+
+# -- the ScenarioRef-table batch format ---------------------------------------
+
+
+def make_batch_table(
+    builders: Sequence["ScenarioBuilder"], seeds: Sequence[int]
+) -> tuple[tuple["ScenarioBuilder", ...], tuple[tuple[int, int], ...]]:
+    """Pack parallel ``builders``/``seeds`` into a deduped batch table.
+
+    Returns ``(table, jobs)`` where ``table`` holds each distinct
+    builder once (value-deduped when hashable — equal ``ScenarioRef``\\ s
+    collapse — with an identity fallback for unhashable callables) and
+    ``jobs`` is the ``(table_index, seed)`` row per cell, in cell order.
+
+    Refs compare equal by ``(name, sorted(params))`` alone, but a ref
+    *bound* to a custom registry resolves through that registry, not
+    the default one — so the dedupe key also carries the bound
+    registry's identity, and a bound ref never collapses into an
+    equal-looking ref that would build a different scenario.
+    """
+    if len(builders) != len(seeds):
+        raise ValueError(
+            f"builders and seeds must align cell-for-cell: "
+            f"got {len(builders)} builders, {len(seeds)} seeds"
+        )
+    table: list["ScenarioBuilder"] = []
+    index: dict[Any, int] = {}
+    jobs: list[tuple[int, int]] = []
+    for builder, seed in zip(builders, seeds):
+        bound = getattr(builder, "registry", None)
+        key = builder if bound is None else (id(bound), builder)
+        try:
+            position = index.get(key)
+        except TypeError:  # unhashable builder: ship it undeduped
+            position = None
+        if position is None:
+            position = len(table)
+            table.append(builder)
+            try:
+                index[key] = position
+            except TypeError:
+                pass
+        jobs.append((position, seed))
+    return tuple(table), tuple(jobs)
+
+
+def run_table_batch(
+    table: Sequence["ScenarioBuilder"], jobs: Sequence[tuple[int, int]]
+) -> list["TestRunResult"]:
+    """Worker-side entry point: run one batch table's jobs, in order.
+
+    Module-level so it pickles to workers.  Builders that are portable
+    (default-registry) ``ScenarioRef``\\ s run through the worker cache —
+    resolution, parameter validation and PFA compilation are memoized
+    per :attr:`~repro.workloads.registry.ScenarioRef.cache_key` for the
+    life of the worker process; everything else (raw callables, refs
+    bound to a custom registry) runs uncached exactly as before.
+    """
+    from repro.workloads.registry import ScenarioRef
+
+    results = []
+    for position, seed in jobs:
+        builder = table[position]
+        if isinstance(builder, ScenarioRef) and builder.registry is None:
+            results.append(_run_cached_ref(builder, seed))
+        else:
+            results.append(builder(seed).run())
+    return results
+
+
+@dataclass
+class _CacheEntry:
+    """One worker-cache slot: the resolved builder and its artifacts."""
+
+    builder: Callable[..., Any]
+    params: dict[str, Any]
+    compiled: CompiledPFA | None = None
+    hits: int = 0
+    compilations: int = 0
+
+
+#: Per-process memoization of resolved scenarios, keyed by
+#: ``ScenarioRef.cache_key``.  Its lifetime is the process's; pool
+#: workers run :func:`clear_worker_cache` as their initializer, so
+#: they always start cold even when forked from a parent that called
+#: :func:`run_table_batch` in-process.
+_WORKER_CACHE: dict[tuple, _CacheEntry] = {}
+
+#: Entry cap: warm workers live for the embedding process's lifetime,
+#: so an unbounded cache would grow with every distinct grid point ever
+#: dispatched.  Eviction is oldest-inserted (batches access their
+#: variants locally, so FIFO loses almost nothing over LRU here).
+MAX_WORKER_CACHE_ENTRIES = 512
+
+
+def _run_cached_ref(ref: "ScenarioRef", seed: int) -> "TestRunResult":
+    from repro.workloads.registry import REGISTRY
+
+    entry = _WORKER_CACHE.get(ref.cache_key)
+    if entry is None:
+        spec = REGISTRY.get(ref.name)
+        entry = _CacheEntry(
+            builder=spec.builder, params=spec.validate(dict(ref.params))
+        )
+        while len(_WORKER_CACHE) >= MAX_WORKER_CACHE_ENTRIES:
+            _WORKER_CACHE.pop(next(iter(_WORKER_CACHE)))
+        _WORKER_CACHE[ref.cache_key] = entry
+    else:
+        entry.hits += 1
+    test = entry.builder(seed, **entry.params)
+    _prime_compiled_pfa(test, entry)
+    return test.run()
+
+
+def _prime_compiled_pfa(test: Any, entry: _CacheEntry) -> None:
+    """Substitute the cached :class:`CompiledPFA` into a fresh test.
+
+    Only applies to :class:`AdaptiveTest` instances whose pattern
+    automaton is an explicit (or default Fig. 5) PFA.  The cached
+    compilation is reused only when its source PFA *equals* the one
+    this test just built — a builder producing seed-dependent automata
+    falls back to a fresh compilation, trading the speedup for
+    unconditional correctness.
+    """
+    if not isinstance(test, AdaptiveTest):
+        return
+    source = test.pattern_pfa()
+    if source is None or isinstance(source, CompiledPFA):
+        return
+    compiled = entry.compiled
+    if compiled is None or compiled.source != source:
+        compiled = CompiledPFA.from_pfa(source)
+        entry.compiled = compiled
+        entry.compilations += 1
+    test.pfa = compiled
+
+
+def worker_cache_info() -> dict[str, Any]:
+    """Introspection snapshot of *this process's* worker cache.
+
+    Submit through a pool (``pool.submit(worker_cache_info)``) to
+    observe a worker's cache; used by the lifecycle tests to verify
+    per-variant keying and fork-safety.
+    """
+    return {
+        "entries": len(_WORKER_CACHE),
+        "keys": sorted(_WORKER_CACHE, key=repr),
+        "hits": {key: entry.hits for key, entry in _WORKER_CACHE.items()},
+        "compilations": {
+            key: entry.compilations
+            for key, entry in _WORKER_CACHE.items()
+        },
+    }
+
+
+def clear_worker_cache() -> int:
+    """Drop every worker-cache entry (returns how many were held)."""
+    count = len(_WORKER_CACHE)
+    _WORKER_CACHE.clear()
+    return count

@@ -19,7 +19,11 @@ Three pieces:
   through the registry.  Shipping refs (not callables) to worker
   processes is what lets :class:`~repro.ptest.executor.CellExecutor`
   parallelise any scenario — lambdas-wrapped-in-refs never cross the
-  process boundary, only ``(name, params)`` does.
+  process boundary, only ``(name, params)`` does.  Refs hash and
+  compare by ``(name, sorted(params))`` (see the class docstring), so
+  they double as the dedupe keys of the executor's batch tables and
+  the per-process memoization keys of the worker-side scenario/PFA
+  caches in :mod:`repro.ptest.pool`.
 * The module-level default registry (:data:`REGISTRY`) plus the
   :func:`scenario` / :func:`scenario_ref` / :func:`build_scenario`
   conveniences.  The default registry lazily imports
@@ -170,6 +174,11 @@ class ScenarioRegistry:
     loader: Callable[[], None] | None = None
     _specs: dict[str, ScenarioSpec] = field(default_factory=dict)
     _loaded: bool = False
+    #: Bumped on every successful registration.  Warm worker pools
+    #: record the default registry's version at spawn and respawn when
+    #: it moves, so workers forked before a late ``@scenario``
+    #: registration never serve stale name tables.
+    version: int = 0
 
     def register(
         self,
@@ -197,6 +206,7 @@ class ScenarioRegistry:
                 params=_infer_params(fn),
                 description=doc,
             )
+            self.version += 1
             return fn
 
         if builder is not None:
@@ -261,7 +271,7 @@ class ScenarioRegistry:
         return spec.builder(seed, **validated)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class ScenarioRef:
     """A picklable ``(scenario name, parameters)`` pair.
 
@@ -269,6 +279,20 @@ class ScenarioRef:
     registry *in the calling process* — this is the only thing campaign
     workers ever unpickle, so no scenario builder (lambda, closure,
     bound method, whatever) needs to cross a process boundary itself.
+
+    **Cache-key contract.**  Refs are value objects: equality and hash
+    are defined over ``(name, sorted(params))`` and nothing else (the
+    minting registry is deliberately excluded), so two refs naming the
+    same scenario with the same parameters always collapse to one entry
+    in a dict/set.  This is what the batched wire format and the
+    worker-side caches of :mod:`repro.ptest.pool` key on: a batch table
+    ships each distinct ref once, and a worker memoizes its resolved
+    builder and compiled sampling automaton under :attr:`cache_key` —
+    so every parameter value must itself be hashable, which is enforced
+    at construction time rather than at first cache insert deep inside
+    a worker process.  Parameter order is canonicalised (sorted by
+    name) in ``__post_init__``, so hand-built refs dedupe exactly like
+    registry-minted ones.
     """
 
     name: str
@@ -279,6 +303,55 @@ class ScenarioRef:
     registry: "ScenarioRegistry | None" = field(
         default=None, compare=False, repr=False
     )
+
+    def __post_init__(self) -> None:
+        raw = self.params
+        if isinstance(raw, Mapping):  # ergonomic: accept {'k': v} too
+            raw = raw.items()
+        try:
+            pairs = tuple((key, value) for key, value in raw)
+            canonical = tuple(sorted(pairs, key=lambda kv: kv[0]))
+        except (TypeError, ValueError):
+            raise ConfigError(
+                f"ScenarioRef params must be a mapping or (key, value) "
+                f"pairs, got {self.params!r}"
+            ) from None
+        object.__setattr__(self, "params", canonical)
+        previous = None
+        for key, value in canonical:
+            if not isinstance(key, str):
+                raise ConfigError(
+                    f"ScenarioRef parameter names must be strings, "
+                    f"got {key!r}"
+                )
+            if key == previous:
+                raise ConfigError(
+                    f"duplicate parameter {key!r} in ScenarioRef for "
+                    f"{self.name!r}"
+                )
+            previous = key
+            try:
+                hash(value)
+            except TypeError:
+                raise ConfigError(
+                    f"scenario parameter {key!r} of {self.name!r} has "
+                    f"unhashable value {value!r} ({type(value).__name__}); "
+                    "ScenarioRef parameters must be hashable to serve as "
+                    "batch-table and worker-cache keys"
+                ) from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ScenarioRef):
+            return NotImplemented
+        return (self.name, self.params) == (other.name, other.params)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.params))
+
+    @property
+    def cache_key(self) -> tuple[str, tuple[tuple[str, Any], ...]]:
+        """The ``(name, sorted params)`` pair worker caches key on."""
+        return (self.name, self.params)
 
     def _registry(self) -> "ScenarioRegistry":
         return self.registry if self.registry is not None else REGISTRY

@@ -132,6 +132,57 @@ class TestScenarioRef:
         ref = scenario_ref("clean_spin", tasks=2)
         assert ref.describe() == "clean_spin(tasks=2)"
 
+    def test_hash_eq_follow_name_and_sorted_params(self):
+        # The worker-cache key contract: equality/hash over
+        # (name, sorted(params)) only — hand-built refs with scrambled
+        # param order dedupe exactly like registry-minted ones.
+        minted = scenario_ref("clean_spin", tasks=2, total_steps=40)
+        hand_built = ScenarioRef(
+            name="clean_spin",
+            params=(("total_steps", 40), ("tasks", 2)),  # unsorted
+        )
+        assert hand_built == minted
+        assert hash(hand_built) == hash(minted)
+        assert hand_built.cache_key == minted.cache_key
+        assert len({hand_built, minted}) == 1
+        assert minted != scenario_ref("clean_spin", tasks=3, total_steps=40)
+        assert minted != "clean_spin"  # foreign types never equal
+
+    def test_minting_registry_excluded_from_identity(self):
+        registry = ScenarioRegistry()
+        registry.register("twin", lambda seed, x=1: None)
+        bound = registry.ref("twin", x=2)
+        unbound = ScenarioRef(name="twin", params=(("x", 2),))
+        assert bound == unbound and hash(bound) == hash(unbound)
+
+    def test_mapping_params_accepted_and_canonicalised(self):
+        minted = scenario_ref("clean_spin", tasks=2, total_steps=40)
+        from_mapping = ScenarioRef(
+            name="clean_spin", params={"total_steps": 40, "tasks": 2}
+        )
+        assert from_mapping == minted
+        assert from_mapping.params == minted.params
+
+    def test_malformed_params_get_a_clear_error(self):
+        with pytest.raises(ConfigError, match="mapping or .key, value."):
+            ScenarioRef(name="clean_spin", params=("tasks", 2))
+
+    def test_non_string_param_keys_rejected(self):
+        with pytest.raises(ConfigError, match="must be strings"):
+            ScenarioRef(name="clean_spin", params=((1, "tasks"),))
+
+    def test_duplicate_param_keys_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate parameter"):
+            ScenarioRef(
+                name="clean_spin", params=(("tasks", 1), ("tasks", 2))
+            )
+
+    def test_unhashable_param_value_rejected_at_construction(self):
+        with pytest.raises(ConfigError, match="unhashable"):
+            ScenarioRef(name="clean_spin", params=(("tasks", [1, 2]),))
+        with pytest.raises(ConfigError, match="must be hashable"):
+            ScenarioRef(name="clean_spin", params=(("cfg", {"a": 1}),))
+
     def test_custom_registry_refs_resolve_through_their_registry(self):
         registry = ScenarioRegistry()
         seen = []

@@ -344,3 +344,80 @@ class TestCli:
 
         assert main(["sweep", "cyclic_lock", "--seeds", "2"]) == 0
         assert "detected 2/2" in capsys.readouterr().out
+
+    def test_campaign_shuts_shared_pool_down_by_default(self, capsys):
+        from repro.cli import main
+        from repro.ptest.pool import active_pools, shutdown_pools
+
+        shutdown_pools()  # isolate from pools earlier tests left warm
+        assert (
+            main(
+                [
+                    "campaign",
+                    "clean_spin",
+                    "--seeds",
+                    "3",
+                    "--workers",
+                    "2",
+                    "-p",
+                    "total_steps=40",
+                ]
+            )
+            == 0
+        )
+        assert active_pools() == []  # deterministic CLI teardown
+
+    def test_campaign_keep_pool_leaves_workers_warm(self, capsys):
+        from repro.cli import main
+        from repro.ptest.pool import active_pools, shutdown_pools
+
+        shutdown_pools()  # isolate from pools earlier tests left warm
+        try:
+            assert (
+                main(
+                    [
+                        "campaign",
+                        "clean_spin",
+                        "--seeds",
+                        "3",
+                        "--workers",
+                        "2",
+                        "-p",
+                        "total_steps=40",
+                        "--keep-pool",
+                    ]
+                )
+                == 0
+            )
+            warm = active_pools()
+            assert len(warm) == 1 and not warm[0].closed
+        finally:
+            shutdown_pools()
+
+    def test_bench_forwards_flags_to_the_suite(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        calls = []
+        monkeypatch.setattr(
+            cli, "_load_bench_main", lambda: lambda argv: calls.append(argv) or 0
+        )
+        assert cli.main(["bench", "--quick"]) == 0
+        assert cli.main(["bench", "--workers", "3"]) == 0
+        assert calls == [
+            ["--quick", "--workers", "4"],
+            ["--workers", "3"],
+        ]
+
+    def test_bench_locates_the_real_suite(self):
+        # The loader must resolve benchmarks/bench_perf_hotpaths.py in
+        # the source checkout (the suite itself runs in CI, not here).
+        from repro.cli import _load_bench_main
+
+        assert callable(_load_bench_main())
+
+    def test_bench_missing_suite_is_a_clean_error(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "_load_bench_main", lambda: None)
+        assert cli.main(["bench"]) == 2
+        assert "not found" in capsys.readouterr().out

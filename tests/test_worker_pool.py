@@ -1,0 +1,471 @@
+"""Tests for the persistent worker-pool subsystem.
+
+Covers the :class:`~repro.ptest.pool.WorkerPool` lifecycle (warm reuse
+across ``Campaign.run`` calls, dead-worker respawn, deterministic
+shutdown), the deduped ScenarioRef-table batch wire format, and the
+worker-side scenario/PFA cache — per-variant keying, fork-safety (no
+cross-variant leakage between refs differing only in params), and
+result identity against the serial path.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from functools import partial
+from pathlib import Path
+
+import pytest
+
+from repro.ptest.campaign import Campaign
+from repro.ptest.executor import CellExecutor, WorkCell
+from repro.ptest.pool import (
+    WorkerPool,
+    active_pools,
+    clear_worker_cache,
+    get_pool,
+    make_batch_table,
+    run_table_batch,
+    shutdown_pools,
+    worker_cache_info,
+)
+from repro.workloads.registry import scenario_ref
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_pool_teardown():
+    """Every test starts and ends without lingering shared pools."""
+    shutdown_pools()
+    yield
+    shutdown_pools()
+
+
+def _spin_campaign(workers=1, pool=None, seeds=(0, 1, 2)) -> Campaign:
+    campaign = Campaign(seeds=seeds, workers=workers, pool=pool)
+    campaign.add_scenario("spin", "clean_spin", tasks=2, total_steps=40)
+    return campaign
+
+
+# -- module-level helpers: must pickle to (forked) worker processes ------------
+
+
+@dataclass(frozen=True)
+class _Marker:
+    """Stand-in run result (executors pass results through opaquely)."""
+
+    seed: int
+
+
+class _FlakyOnce:
+    """Kills its worker the first time any instance runs, then behaves.
+
+    The first ``run`` finds no marker file, drops one, and hard-exits
+    the worker process (taking the whole process pool with it); every
+    rerun after the executor's respawn finds the marker and succeeds.
+    """
+
+    def __init__(self, marker_path: str, seed: int):
+        self.marker_path = marker_path
+        self.seed = seed
+
+    def run(self) -> _Marker:
+        marker = Path(self.marker_path)
+        if not marker.exists():
+            marker.write_text("worker died here")
+            os._exit(1)
+        return _Marker(self.seed)
+
+
+def _flaky_builder(marker_path: str, seed: int) -> _FlakyOnce:
+    return _FlakyOnce(marker_path, seed)
+
+
+class _AlwaysDies:
+    def __init__(self, seed: int):
+        self.seed = seed
+
+    def run(self) -> None:
+        os._exit(1)
+
+
+def _lethal_builder(seed: int) -> _AlwaysDies:
+    return _AlwaysDies(seed)
+
+
+def _exit_worker() -> None:
+    os._exit(1)
+
+
+class _RaisesInRun:
+    def __init__(self, seed: int):
+        self.seed = seed
+
+    def run(self) -> None:
+        raise ValueError(f"cell {self.seed} is unrunnable")
+
+
+def _raising_builder(seed: int) -> _RaisesInRun:
+    return _RaisesInRun(seed)
+
+
+def _shadow_spin_builder(seed: int, tasks: int = 2, total_steps: int = 40):
+    """A custom-registry impostor for the built-in ``clean_spin``."""
+    raise AssertionError("must never run in this test")
+
+
+class TestWorkerPoolLifecycle:
+    def test_explicit_pool_reused_across_campaign_runs(self):
+        with WorkerPool(2) as pool:
+            campaign = _spin_campaign(workers=2, pool=pool)
+            first = campaign.run()
+            first_id = campaign.last_pool_id
+            second = campaign.run()
+            assert first == second
+            assert first_id is not None
+            assert campaign.last_pool_id == first_id  # same warm pool
+            assert pool.spawns == 1
+
+    def test_shared_pool_reused_across_separate_campaigns(self):
+        a = _spin_campaign(workers=2)
+        b = _spin_campaign(workers=2)
+        rows_a = a.run()
+        rows_b = b.run()
+        assert rows_a == rows_b
+        assert a.last_pool_id == b.last_pool_id is not None
+        assert get_pool(2).spawns == 1
+
+    def test_serial_run_reports_no_pool(self):
+        campaign = _spin_campaign(workers=1)
+        campaign.run()
+        assert campaign.last_pool_id is None
+        assert active_pools() == []
+
+    def test_dead_worker_respawn_at_pool_level(self):
+        with WorkerPool(2) as pool:
+            assert pool.ping()
+            first_id = pool.pool_id
+            with pytest.raises(BrokenProcessPool):
+                pool.submit(_exit_worker).result()
+            pool.notify_broken()
+            # The next use respawns transparently.
+            assert pool.ping()
+            assert pool.pool_id != first_id
+            assert pool.spawns == 2
+
+    def test_executor_resubmits_batches_after_worker_death(self, tmp_path):
+        marker = str(tmp_path / "died-once")
+        builder = partial(_flaky_builder, marker)
+        cells = [WorkCell(variant="flaky", seed=seed) for seed in range(4)]
+        with WorkerPool(2) as pool:
+            executor = CellExecutor(workers=2, pool=pool, batch_size=2)
+            results = executor.run_cells({"flaky": builder}, cells)
+            assert results == [_Marker(seed) for seed in range(4)]
+            assert pool.spawns == 2  # the respawn happened mid-run
+
+    def test_deterministically_lethal_batch_surfaces(self):
+        cells = [WorkCell(variant="boom", seed=seed) for seed in range(2)]
+        with WorkerPool(2) as pool:
+            executor = CellExecutor(workers=2, pool=pool)
+            with pytest.raises(BrokenProcessPool):
+                executor.run_cells({"boom": _lethal_builder}, cells)
+
+    def test_cell_exception_aborts_but_leaves_pool_usable(self):
+        # A raising cell propagates out of run_cells; queued batches
+        # are cancelled rather than left burning the persistent pool,
+        # and the same pool serves the next run.
+        cells = [WorkCell(variant="bad", seed=seed) for seed in range(8)]
+        with WorkerPool(2) as pool:
+            executor = CellExecutor(workers=2, pool=pool, batch_size=1)
+            with pytest.raises(ValueError, match="unrunnable"):
+                executor.run_cells({"bad": _raising_builder}, cells)
+            assert pool.ping()  # no respawn, no wedged queue
+            assert pool.spawns == 1
+            good = _spin_campaign(workers=2, pool=pool)
+            assert good.run()[0].runs == 3
+
+    def test_stale_break_notification_is_a_no_op(self):
+        with WorkerPool(2) as pool:
+            assert pool.ping()
+            first_id = pool.pool_id
+            with pytest.raises(BrokenProcessPool):
+                pool.submit(_exit_worker).result()
+            pool.notify_broken(first_id)
+            assert pool.ping()
+            respawned_id = pool.pool_id
+            assert respawned_id != first_id
+            # A second observer reporting the *old* executor's death
+            # must not tear down the fresh one.
+            pool.notify_broken(first_id)
+            assert pool.pool_id == respawned_id
+            assert pool.spawns == 2
+
+    def test_context_manager_gives_deterministic_shutdown(self):
+        with WorkerPool(2) as pool:
+            assert pool.ping()
+        assert pool.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.submit(_exit_worker)
+
+    def test_shutdown_pools_is_idempotent_and_replaces(self):
+        pool = get_pool(2)
+        assert pool.ping()
+        shutdown_pools()
+        shutdown_pools()  # second call is a no-op
+        assert pool.closed
+        replacement = get_pool(2)
+        assert replacement is not pool and not replacement.closed
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            WorkerPool(0)
+
+
+class TestLateRegistration:
+    def test_scenarios_registered_after_spawn_still_resolve(self):
+        # Warm workers snapshot the registry at fork; a registration
+        # made afterwards bumps the registry version, which retires the
+        # stale workers transparently on the next dispatch.
+        from repro.workloads.registry import REGISTRY
+
+        name = "late_registered_for_pool_test"
+        with WorkerPool(2) as pool:
+            warmup = _spin_campaign(workers=2, pool=pool)
+            warmup.run()
+            assert pool.spawns == 1
+
+            @REGISTRY.register(name)
+            def _late(seed: int, total_steps: int = 40):
+                # Forked workers inherit this closure through the
+                # registry — only the ref crosses the wire.
+                from repro.workloads.registry import build_scenario
+
+                return build_scenario(
+                    "clean_spin", seed, tasks=2, total_steps=total_steps
+                )
+
+            try:
+                late = Campaign(seeds=(0, 1), workers=2, pool=pool)
+                late.add_scenario("late", name)
+                rows = late.run()
+                assert rows[0].runs == 2
+                assert pool.spawns == 2  # stale workers were retired
+            finally:
+                del REGISTRY._specs[name]
+
+
+class TestExplicitPoolRequestsParallelism:
+    def test_multiworker_pool_drives_default_workers(self):
+        # Handing over a multi-worker pool IS the parallelism request;
+        # the executor must not silently run serial at workers=None.
+        ref = scenario_ref("clean_spin", tasks=2, total_steps=40)
+        cells = [WorkCell(variant="spin", seed=seed) for seed in range(4)]
+        with WorkerPool(2) as pool:
+            executor = CellExecutor(pool=pool)  # workers left unset
+            parallel = executor.run_cells({"spin": ref}, cells)
+            assert executor.ran_parallel is True
+            assert executor.last_pool_id == pool.pool_id
+        serial = CellExecutor().run_cells({"spin": ref}, cells)
+        assert [r.ticks for r in parallel] == [r.ticks for r in serial]
+
+    def test_explicit_workers_one_forces_in_process_execution(self):
+        # workers=1 must stay an honoured in-process escape hatch
+        # (debuggers, monkeypatched builders) even with a pool wired.
+        ref = scenario_ref("clean_spin", tasks=2, total_steps=40)
+        cells = [WorkCell(variant="spin", seed=seed) for seed in range(2)]
+        with WorkerPool(2) as pool:
+            executor = CellExecutor(workers=1, pool=pool)
+            executor.run_cells({"spin": ref}, cells)
+            assert executor.ran_parallel is False
+            assert executor.last_pool_id is None
+            assert pool.spawns == 0  # the pool was never touched
+            campaign = _spin_campaign(workers=None, pool=pool)
+            serial_rows = campaign.run(workers=1)
+            assert campaign.last_pool_id is None
+            assert campaign.run() == serial_rows  # pool path agrees
+            assert campaign.last_pool_id == pool.pool_id
+
+
+class TestMidRunRegistration:
+    def test_registration_during_drain_does_not_abort_the_run(self):
+        # A registry version bump mid-run retires the executor under
+        # the dispatch loop; queued futures come back cancelled and
+        # must be resubmitted, not surfaced as a crash.
+        from repro.workloads.registry import REGISTRY
+
+        name = "registered_mid_run_for_pool_test"
+        registered = []
+
+        class _RegisteringSink:
+            def accept(self, cell, result):
+                if not registered:
+                    registered.append(name)
+                    REGISTRY.register(name, _shadow_spin_builder)
+
+        try:
+            with WorkerPool(2) as pool:
+                campaign = Campaign(
+                    seeds=tuple(range(6)), workers=2,
+                    batch_size=1, pool=pool,
+                )
+                campaign.add_scenario(
+                    "spin", "clean_spin", tasks=2, total_steps=40
+                )
+                rows = campaign.run(sink=_RegisteringSink())
+            assert rows[0].runs == 6
+            serial = Campaign(seeds=tuple(range(6)))
+            serial.add_scenario(
+                "spin", "clean_spin", tasks=2, total_steps=40
+            )
+            assert serial.run() == rows
+        finally:
+            REGISTRY._specs.pop(name, None)
+
+
+class TestBatchTable:
+    def test_worker_cache_entries_are_capped(self, monkeypatch):
+        import repro.ptest.pool as pool_mod
+
+        clear_worker_cache()
+        monkeypatch.setattr(pool_mod, "MAX_WORKER_CACHE_ENTRIES", 2)
+        try:
+            refs = [
+                scenario_ref("clean_spin", tasks=2, total_steps=steps)
+                for steps in (40, 50, 60)
+            ]
+            for ref in refs:
+                run_table_batch((ref,), ((0, 0),))
+            info = worker_cache_info()
+            assert info["entries"] == 2
+            # Oldest-inserted entry was the one evicted.
+            assert refs[0].cache_key not in set(info["keys"])
+        finally:
+            clear_worker_cache()
+
+    def test_legacy_run_cell_batch_matches_table_path_without_caching(self):
+        ref = scenario_ref("clean_spin", tasks=2, total_steps=40)
+        try:
+            from repro.ptest.executor import run_cell_batch
+
+            clear_worker_cache()
+            legacy = run_cell_batch([(ref, 0), (ref, 1)])
+            # The legacy form is side-effect-free in the calling
+            # process — only the table path populates the cache.
+            assert worker_cache_info()["entries"] == 0
+            table = run_table_batch((ref,), ((0, 0), (0, 1)))
+            assert [r.ticks for r in legacy] == [r.ticks for r in table]
+        finally:
+            clear_worker_cache()  # table path ran in-process
+
+    def test_equal_refs_collapse_to_one_table_entry(self):
+        ref = scenario_ref("clean_spin", tasks=2, total_steps=40)
+        twin = scenario_ref("clean_spin", total_steps=40, tasks=2)
+        table, jobs = make_batch_table([ref, twin, ref], [0, 1, 2])
+        assert table == (ref,)
+        assert jobs == ((0, 0), (0, 1), (0, 2))
+
+    def test_distinct_refs_keep_distinct_entries(self):
+        fast = scenario_ref("clean_spin", total_steps=40)
+        slow = scenario_ref("clean_spin", total_steps=80)
+        table, jobs = make_batch_table([fast, slow, fast], [0, 0, 1])
+        assert table == (fast, slow)
+        assert jobs == ((0, 0), (1, 0), (0, 1))
+
+    def test_bound_refs_never_collapse_into_equal_unbound_refs(self):
+        # A ref bound to a custom registry compares equal to a default
+        # ref with the same (name, params) — by the cache-key contract —
+        # but resolves through a different registry, so the table must
+        # keep both entries rather than silently running one builder
+        # for the other's cells.
+        from repro.workloads.registry import ScenarioRegistry
+
+        registry = ScenarioRegistry()
+        registry.register("clean_spin", _shadow_spin_builder)
+        bound = registry.ref("clean_spin", tasks=2, total_steps=40)
+        unbound = scenario_ref("clean_spin", tasks=2, total_steps=40)
+        assert bound == unbound  # the identity contract holds...
+        table, jobs = make_batch_table([unbound, bound], [0, 0])
+        assert len(table) == 2  # ...but dispatch keeps them apart
+        assert jobs == ((0, 0), (1, 0))
+
+    def test_misaligned_builders_and_seeds_rejected(self):
+        ref = scenario_ref("clean_spin", tasks=2, total_steps=40)
+        with pytest.raises(ValueError, match="cell-for-cell"):
+            make_batch_table([ref, ref], [0])
+
+    def test_unhashable_builders_ship_undeduped(self):
+        class Unhashable:
+            __hash__ = None
+
+            def __call__(self, seed):  # pragma: no cover - never run
+                raise AssertionError
+
+        builder = Unhashable()
+        table, jobs = make_batch_table([builder, builder], [0, 1])
+        assert len(table) == 2  # identity entries, one per cell
+        assert jobs == ((0, 0), (1, 1))
+
+    def test_run_table_batch_matches_direct_build(self):
+        ref = scenario_ref("clean_spin", tasks=2, total_steps=40)
+        try:
+            results = run_table_batch((ref,), ((0, 0), (0, 1)))
+            direct = [ref(0).run(), ref(1).run()]
+            assert [r.ticks for r in results] == [r.ticks for r in direct]
+            info = worker_cache_info()
+            assert ref.cache_key in set(info["keys"])
+            # Both jobs shared one resolution and one compilation.
+            assert info["hits"][ref.cache_key] == 1
+            assert info["compilations"][ref.cache_key] == 1
+        finally:
+            clear_worker_cache()  # ran in-process: leave no residue
+
+
+class TestWorkerSideCache:
+    def test_cache_keys_are_per_variant(self):
+        # A single-process pool makes the worker cache observable
+        # deterministically (every batch lands in the same worker).
+        fast = scenario_ref("clean_spin", tasks=2, total_steps=40)
+        slow = scenario_ref("clean_spin", tasks=2, total_steps=80)
+        cells = [
+            WorkCell(variant=name, seed=seed)
+            for name in ("fast", "slow")
+            for seed in range(3)
+        ]
+        with WorkerPool(1) as pool:
+            executor = CellExecutor(workers=2, pool=pool)
+            parallel = executor.run_cells({"fast": fast, "slow": slow}, cells)
+            info = pool.submit(worker_cache_info).result()
+        assert set(info["keys"]) == {fast.cache_key, slow.cache_key}
+        # One PFA compilation per variant, however many seeds ran.
+        assert info["compilations"][fast.cache_key] == 1
+        assert info["compilations"][slow.cache_key] == 1
+        serial = CellExecutor(workers=1).run_cells(
+            {"fast": fast, "slow": slow}, cells
+        )
+        assert [r.ticks for r in parallel] == [r.ticks for r in serial]
+
+    def test_no_cross_variant_leakage_between_param_twins(self):
+        # Same scenario name, params differing only in one flag, packed
+        # into the same batches: the buggy variant must still detect and
+        # the control must still stay clean (cache keyed on params).
+        campaign = Campaign(
+            seeds=(0, 1), workers=2, batch_size=4, pool=None
+        )
+        campaign.add_grid("phil", "philosophers", {"ordered": [False, True]})
+        rows = {row.variant: row for row in campaign.run()}
+        assert rows["phil[ordered=False]"].rate == 1.0
+        assert rows["phil[ordered=True]"].rate == 0.0
+
+    def test_rows_identical_across_warm_cold_and_serial(self):
+        campaign = Campaign(seeds=(0, 1))
+        campaign.add_scenario("cyclic", "philosophers", op="cyclic")
+        campaign.add_scenario("ordered", "philosophers", ordered=True)
+        serial_rows = campaign.run(workers=1)
+        with WorkerPool(2) as pool:
+            warm = Campaign(seeds=(0, 1), workers=2, pool=pool)
+            warm.add_scenario("cyclic", "philosophers", op="cyclic")
+            warm.add_scenario("ordered", "philosophers", ordered=True)
+            cold_rows = warm.run()  # first dispatch: cold pool
+            warm_rows = warm.run()  # second dispatch: warm + cached
+        assert cold_rows == serial_rows
+        assert warm_rows == serial_rows
