@@ -18,7 +18,12 @@ Times, on this machine:
    a cold (freshly spawned) worker pool vs. the second run on a warm
    persistent pool whose workers already hold their scenario/PFA
    caches (the ``WorkerPool`` reuse lever).
-5. **Deadlock detection** — detector sweeps/sec of the legacy
+5. **Adaptive rounds** — rounds/sec of a multi-round
+   :class:`AdaptiveCampaign` on one persistent pool: the cold first
+   round (pool spawn inside the timed window) vs. the mean warm round
+   2+ — certifying, via pool telemetry, that refinement rounds never
+   pay pool spawn (``pool.spawns`` stays 1 however many rounds run).
+6. **Deadlock detection** — detector sweeps/sec of the legacy
    networkx-rebuild check vs. the incremental wait-for graph, in the
    steady state where mutex ownership is not changing (the common case
    between interleavings).
@@ -263,6 +268,79 @@ def bench_pool(quick: bool, workers: int) -> dict:
     }
 
 
+# -- layer 2d: adaptive rounds -------------------------------------------------
+
+
+def bench_adaptive(quick: bool, workers: int) -> dict:
+    """Round dispatch cost of the multi-round adaptive engine.
+
+    Runs an :class:`AdaptiveCampaign` under the identity ``Repeat``
+    policy (rows must not drift round over round) on ``clean_spin``
+    cells, timing each round separately: round 1 pays the pool spawn,
+    rounds 2+ must ride the warm pool — ``pool.spawns == 1`` after the
+    whole run is the deterministic CI floor (a respawn mid-sequence
+    means refinement left the warm pool, the exact regression the
+    adaptive engine exists to prevent).
+    """
+    from repro.ptest.adaptive import AdaptiveCampaign, Repeat
+
+    rounds = 3
+    seeds = tuple(range(8 if quick else 24))
+    round_times: list[float] = []
+
+    class _TimedRepeat(Repeat):
+        """Repeat, plus a round-boundary timestamp per refinement."""
+
+        def refine(self, observation):
+            round_times.append(time.perf_counter())
+            return super().refine(observation)
+
+    with WorkerPool(workers) as pool:
+        campaign = AdaptiveCampaign(
+            seeds=seeds,
+            rounds=rounds,
+            policy=_TimedRepeat(),
+            workers=workers,
+            pool=pool,
+        )
+        campaign.add_scenario(
+            "spin", "clean_spin", tasks=2, total_steps=40 if quick else 80
+        )
+        start = time.perf_counter()
+        result = campaign.run()
+        end = time.perf_counter()
+        spawns = pool.spawns
+    # refine() fires between rounds, so the timestamps split the run
+    # into per-round segments: [start, t1], [t1, t2], [t2, end].
+    bounds = [start, *round_times, end]
+    segments = [b - a for a, b in zip(bounds, bounds[1:])]
+    cold_round = segments[0]
+    warm_rounds = segments[1:]
+    warm_mean = sum(warm_rounds) / len(warm_rounds)
+    # Correctness guard: identical variants must yield identical rows
+    # on every warm round (the adaptive determinism contract).
+    first_rows = result.rounds[0].rows
+    for observation in result.rounds[1:]:
+        assert observation.rows == first_rows, (
+            "warm adaptive round diverged from the cold round"
+        )
+    return {
+        "rounds": rounds,
+        "cells_per_round": len(seeds),
+        "workers": workers,
+        "cold_round_sec": round(cold_round, 4),
+        "warm_round_sec_mean": round(warm_mean, 4),
+        "cold_rounds_per_sec": round(1.0 / cold_round, 2),
+        "warm_rounds_per_sec": round(1.0 / warm_mean, 2),
+        "speedup": round(cold_round / warm_mean, 2),
+        "pool_spawns": spawns,
+        "pool_stable": result.pool_stable,
+        # Timing ratios are noise on one core, but the spawn count is
+        # exact everywhere — the CI floor gates on it unconditionally.
+        "skipped_parallel_floor": os.cpu_count() == 1,
+    }
+
+
 # -- layer 3: detection --------------------------------------------------------
 
 
@@ -364,6 +442,7 @@ def main(argv: list[str] | None = None) -> int:
         "campaign": bench_campaign(args.quick, args.workers),
         "campaign_batched": bench_campaign_batched(args.quick, args.workers),
         "pool": bench_pool(args.quick, args.workers),
+        "adaptive": bench_adaptive(args.quick, args.workers),
         "detector": bench_detector(args.quick),
     }
     single_core = os.cpu_count() == 1
@@ -394,6 +473,15 @@ def main(argv: list[str] | None = None) -> int:
         "pool_floor_met": (
             None if single_core else results["pool"]["speedup"] >= 1.5
         ),
+        # Adaptive rounds 2+ must never pay pool spawn: exactly one
+        # executor creation across the whole multi-round sequence, and
+        # one pool generation in the telemetry.  Spawn counting is
+        # exact on any hardware, so this floor never skips.
+        "adaptive_no_respawn_floor": 1,
+        "adaptive_no_respawn_met": (
+            results["adaptive"]["pool_spawns"] == 1
+            and results["adaptive"]["pool_stable"]
+        ),
         "detector_ci_floor": 5.0,
         "detector_floor_met": results["detector"]["speedup"] >= 5.0,
         "note": (
@@ -406,11 +494,12 @@ def main(argv: list[str] | None = None) -> int:
     args.out.write_text(json.dumps(results, indent=2) + "\n")
     shutdown_pools()  # deterministic teardown of the shared warm pool
 
-    sampling, campaign, batched, pool, detector = (
+    sampling, campaign, batched, pool, adaptive, detector = (
         results["sampling"],
         results["campaign"],
         results["campaign_batched"],
         results["pool"],
+        results["adaptive"],
         results["detector"],
     )
     print("== perf hot paths ==")
@@ -444,6 +533,17 @@ def main(argv: list[str] | None = None) -> int:
         f"pool:      {pool['cold_dispatch_cells_per_sec']:>10.2f} -> "
         f"{pool['warm_dispatch_cells_per_sec']:>10.2f} cells/s     "
         f"({pool['speedup']}x warm vs cold){pool_note}"
+    )
+    adaptive_note = (
+        "  [timing floor skipped: 1 core]"
+        if adaptive["skipped_parallel_floor"]
+        else ""
+    )
+    print(
+        f"adaptive:  {adaptive['cold_rounds_per_sec']:>10.2f} -> "
+        f"{adaptive['warm_rounds_per_sec']:>10.2f} rounds/s    "
+        f"({adaptive['speedup']}x warm vs cold, "
+        f"pool_spawns={adaptive['pool_spawns']}){adaptive_note}"
     )
     print(
         f"detector:  {detector['rebuild_sweeps_per_sec']:>10.0f} -> "

@@ -9,6 +9,10 @@ Python:
 ``campaign``       sweep a registered scenario over seeds (and an
                    optional parameter grid) through the batched
                    process-pool executor
+``adapt``          multi-round adaptive campaign: rounds run on one
+                   warm worker pool and a refine policy (grid_zoom,
+                   halving, replay, repeat) steers each next round's
+                   variants from the previous round's detections
 ``scenarios``      list the scenario registry with parameter specs
 ``bench``          run the perf hot-path benchmark suite and print the
                    JSON artifact path plus headline speedups
@@ -116,19 +120,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
     try:
         fixed = _parse_params(args.param)
-        if args.grid:
-            grid: dict[str, list[str]] = {}
-            for pair in args.grid:
-                key, sep, values = pair.partition("=")
-                if not sep or not key or not values:
-                    raise ConfigError(
-                        f"malformed grid {pair!r}; expected key=v1,v2,..."
-                    )
-                if key in grid:
-                    raise ConfigError(
-                        f"grid parameter {key!r} given more than once"
-                    )
-                grid[key] = values.split(",")
+        grid = _parse_grid(args.grid)
+        if grid:
             campaign.add_grid(args.scenario, args.scenario, grid, **fixed)
         else:
             campaign.add_scenario(args.scenario, args.scenario, **fixed)
@@ -157,6 +150,77 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         + (f", batch_size={args.batch_size}" if args.batch_size else "")
     )
     print(render_campaign(rows))
+    return 0
+
+
+def _parse_grid(pairs: list[str] | None) -> dict[str, list[str]]:
+    """``key=v1,v2,...`` strings -> param grid (registry coerces types)."""
+    grid: dict[str, list[str]] = {}
+    for pair in pairs or []:
+        key, sep, values = pair.partition("=")
+        if not sep or not key or not values:
+            raise ConfigError(
+                f"malformed grid {pair!r}; expected key=v1,v2,..."
+            )
+        if key in grid:
+            raise ConfigError(f"grid parameter {key!r} given more than once")
+        grid[key] = values.split(",")
+    return grid
+
+
+def _cmd_adapt(args: argparse.Namespace) -> int:
+    from repro.analysis.text_report import render_campaign
+    from repro.ptest.adaptive import POLICIES, AdaptiveCampaign
+    from repro.ptest.pool import close_pool
+
+    try:
+        # Construct inside the try: policy/param validation errors are
+        # config problems and must exit 2, not traceback.
+        policy_kwargs = (
+            {"max_sources": args.max_sources}
+            if args.policy == "replay"
+            else {}
+        )
+        policy = POLICIES[args.policy](**policy_kwargs)
+        campaign = AdaptiveCampaign(
+            seeds=tuple(range(args.seeds)),
+            rounds=args.rounds,
+            policy=policy,
+            workers=args.workers,
+            batch_size=args.batch_size,
+        )
+        fixed = _parse_params(args.param)
+        grid = _parse_grid(args.grid)
+        if grid:
+            campaign.add_grid(args.scenario, args.scenario, grid, **fixed)
+        else:
+            campaign.add_scenario(args.scenario, args.scenario, **fixed)
+        result = campaign.run()
+    except (ReproError, ValueError) as error:
+        # Config problems (unknown scenario/param, bad grid or rounds,
+        # a policy needing refs it did not get) — not found bugs.
+        print(error)
+        return 2
+    finally:
+        if not args.keep_pool:
+            close_pool(args.workers)
+    print(
+        f"adaptive campaign: {args.scenario} x {args.seeds} seed(s), "
+        f"policy={args.policy}, {len(result.rounds)}/{args.rounds} "
+        f"round(s), workers={args.workers}"
+        + (" [stopped early]" if result.stopped_early else "")
+    )
+    for observation in result.rounds:
+        pool_note = (
+            f" pool_id={observation.pool_id}"
+            if observation.pool_id is not None
+            else ""
+        )
+        print(
+            f"-- round {observation.index + 1}: "
+            f"{observation.total_detections} detection(s){pool_note}"
+        )
+        print(render_campaign(list(observation.rows)))
     return 0
 
 
@@ -263,6 +327,13 @@ def _cmd_faults(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _policy_choices() -> tuple[str, ...]:
+    """Adapt-policy names, straight from the registry (one source)."""
+    from repro.ptest.adaptive import POLICIES
+
+    return tuple(sorted(POLICIES))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -331,6 +402,62 @@ def build_parser() -> argparse.ArgumentParser:
         "dispatch again)",
     )
     campaign_p.set_defaults(func=_cmd_campaign)
+
+    adapt_p = sub.add_parser(
+        "adapt",
+        help="multi-round adaptive campaign on one warm worker pool",
+    )
+    adapt_p.add_argument("scenario", help="registered scenario name")
+    adapt_p.add_argument(
+        "--rounds",
+        type=int,
+        default=3,
+        help="maximum refinement rounds (policy may stop earlier)",
+    )
+    adapt_p.add_argument(
+        "--policy",
+        choices=_policy_choices(),
+        default="grid_zoom",
+        help="refine policy steering each next round (default grid_zoom: "
+        "narrow the grid around the highest-detection cell; halving: "
+        "drop the bottom half of variants; replay: re-merge detecting "
+        "interleavings into replay cells; repeat: rerun unchanged)",
+    )
+    adapt_p.add_argument(
+        "--max-sources",
+        type=int,
+        default=2,
+        help="detections seeding each replay round (replay policy only)",
+    )
+    adapt_p.add_argument("--seeds", type=int, default=5)
+    adapt_p.add_argument("--workers", type=int, default=1)
+    adapt_p.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="cells per worker submission (default: auto)",
+    )
+    adapt_p.add_argument(
+        "--param",
+        "-p",
+        action="append",
+        metavar="KEY=VALUE",
+        help="fixed scenario parameter (repeatable)",
+    )
+    adapt_p.add_argument(
+        "--grid",
+        "-g",
+        action="append",
+        metavar="KEY=V1,V2,...",
+        help="round-1 parameter grid (repeatable; variants are the "
+        "cartesian product, which the policy then refines)",
+    )
+    adapt_p.add_argument(
+        "--keep-pool",
+        action="store_true",
+        help="leave the shared worker pool warm after the run",
+    )
+    adapt_p.set_defaults(func=_cmd_adapt)
 
     scenarios_p = sub.add_parser(
         "scenarios", help="list the scenario registry"

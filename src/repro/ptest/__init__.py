@@ -20,7 +20,11 @@ the simulated OMAP platform:
   paper's probabilities, and RE (2).
 * :mod:`repro.ptest.pool` — persistent, health-checked worker pools,
   the deduped ScenarioRef-table batch wire format, and the worker-side
-  scenario/PFA caches behind parallel campaign dispatch.
+  scenario/PFA/merged-pattern caches behind parallel campaign dispatch.
+* :mod:`repro.ptest.adaptive` — multi-round adaptive campaigns on one
+  warm pool: pluggable ``RefinePolicy`` (grid zoom, successive halving,
+  merged-pattern replay focus) feeding detection results back into the
+  next round's scenario refs.
 """
 
 from repro.ptest.config import PTestConfig
@@ -38,7 +42,26 @@ from repro.ptest.committer import Committer, PairBinding
 from repro.ptest.report import BugReport
 from repro.ptest.harness import AdaptiveTest, TestRunResult, run_adaptive_test
 from repro.ptest.shrink import PatternShrinker, ShrinkResult, truncate_merged
-from repro.ptest.campaign import Campaign, CampaignRow, compare_ops
+from repro.ptest.campaign import (
+    Campaign,
+    CampaignRow,
+    DetectionCapture,
+    DetectionSample,
+    TeeSink,
+    compare_ops,
+    grid_variants,
+)
+from repro.ptest.adaptive import (
+    AdaptiveCampaign,
+    AdaptiveResult,
+    GridZoom,
+    POLICIES,
+    RefinePolicy,
+    Repeat,
+    ReplayFocus,
+    RoundObservation,
+    SuccessiveHalving,
+)
 from repro.ptest.executor import (
     CellExecutor,
     CollectSink,
@@ -56,7 +79,12 @@ from repro.ptest.pool import (
     shutdown_pools,
 )
 from repro.ptest.waitgraph import IncrementalWaitForGraph, find_cycle_edges
-from repro.ptest.replay import parse_merged_description, replay_report_dict
+from repro.ptest.replay import (
+    ReplayRef,
+    parse_merged_description,
+    replay_ref,
+    replay_report_dict,
+)
 from repro.ptest.pcore_model import (
     PCORE_REGULAR_EXPRESSION,
     PCORE_SERVICES,
@@ -90,7 +118,20 @@ __all__ = [
     "truncate_merged",
     "Campaign",
     "CampaignRow",
+    "DetectionCapture",
+    "DetectionSample",
+    "TeeSink",
     "compare_ops",
+    "grid_variants",
+    "AdaptiveCampaign",
+    "AdaptiveResult",
+    "GridZoom",
+    "POLICIES",
+    "RefinePolicy",
+    "Repeat",
+    "ReplayFocus",
+    "RoundObservation",
+    "SuccessiveHalving",
     "CellExecutor",
     "CollectSink",
     "ResultSink",
@@ -105,7 +146,9 @@ __all__ = [
     "shutdown_pools",
     "IncrementalWaitForGraph",
     "find_cycle_edges",
+    "ReplayRef",
     "parse_merged_description",
+    "replay_ref",
     "replay_report_dict",
     "PCORE_REGULAR_EXPRESSION",
     "PCORE_SERVICES",

@@ -1,0 +1,558 @@
+"""Multi-round adaptive campaigns: generate → execute → detect → refine.
+
+A :class:`~repro.ptest.campaign.Campaign` sweeps a *fixed* variant set
+once.  :class:`AdaptiveCampaign` closes the loop the ROADMAP names —
+"multi-round adaptive campaigns that feed detection results back into
+ref parameters without leaving the warm pool": it runs a campaign in
+rounds on **one** shared :class:`~repro.ptest.pool.WorkerPool`
+(``pool_id`` constant across rounds — round 2+ never pays pool spawn),
+and between rounds hands each round's per-variant detection rates,
+bug-kind counts and sampled detecting interleavings to a pluggable
+:class:`RefinePolicy` that emits the next round's variants.
+
+Built-in policies:
+
+:class:`GridZoom`
+    Narrows a parameter grid around the highest-detection cell — each
+    varying parameter keeps the best value and its immediate grid
+    neighbours, so successive rounds concentrate seeds on the region
+    where detections cluster.
+:class:`SuccessiveHalving`
+    Drops the bottom half of variants (by detection rate) each round —
+    the classic budget-reallocation racer.
+:class:`ReplayFocus`
+    Turns detecting runs' recorded interleavings into merged-pattern
+    replay cells: the detecting pattern's sources are re-merged under
+    the policy's ops via :meth:`PatternMerger.merge_symbols` and
+    shipped as picklable :class:`~repro.ptest.replay.ReplayRef`
+    variants — riding the executor's deduped batch-table wire format
+    and worker-side merged-pattern cache like any registry scenario.
+:class:`Repeat`
+    Re-emits the same variants every round — the stability/benchmark
+    baseline (rounds differ only in warm-up state, never in results).
+
+**Determinism contract.**  For a fixed seed set and policy, the
+round-by-round variant sets and every round's rows are bit-identical at
+any ``(workers, batch_size, warm/cold)`` execution configuration:
+campaign rows already are, detection samples are captured in submission
+order, and every built-in policy is a pure function of its
+:class:`RoundObservation` (stochastic re-merging derives its RNG seeds
+from the policy seed and round/sample indices alone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Protocol, Sequence, runtime_checkable
+
+from repro.errors import ConfigError
+from repro.ptest.campaign import (
+    Campaign,
+    CampaignRow,
+    DetectionCapture,
+    DetectionSample,
+    TeeSink,
+    grid_variants,
+)
+from repro.ptest.executor import ResultSink, ScenarioBuilder
+from repro.ptest.merger import PatternMerger
+from repro.ptest.pool import WorkerPool, get_pool
+from repro.ptest.replay import ReplayRef, parse_merged_description, replay_ref
+from repro.workloads.registry import ScenarioRef, scenario_ref
+
+
+@dataclass(frozen=True)
+class RoundObservation:
+    """What one round produced — the policy's whole world.
+
+    Also the per-round record kept in :class:`AdaptiveResult`, so what
+    a policy saw and what the caller can audit are the same object.
+    """
+
+    index: int
+    #: The variants this round ran, in row order.
+    variants: dict[str, ScenarioBuilder]
+    rows: tuple[CampaignRow, ...]
+    #: Per-variant bounded sample of detecting cells (submission order).
+    detections: dict[str, tuple[DetectionSample, ...]]
+    #: ``WorkerPool.pool_id`` the round dispatched through (``None`` for
+    #: serial rounds) — constant across rounds certifies warm reuse.
+    pool_id: int | None
+
+    @property
+    def total_detections(self) -> int:
+        return sum(row.detections for row in self.rows)
+
+    def row(self, variant: str) -> CampaignRow:
+        for row in self.rows:
+            if row.variant == variant:
+                return row
+        raise KeyError(f"no row for variant {variant!r}")
+
+    def rate(self, variant: str) -> float:
+        return self.row(variant).rate
+
+    def kind_counts(self) -> dict[str, int]:
+        """Bug-kind histogram over this round's sampled detections."""
+        counts: dict[str, int] = {}
+        for samples in self.detections.values():
+            for sample in samples:
+                counts[sample.kind] = counts.get(sample.kind, 0) + 1
+        return counts
+
+    def best_variant(self) -> str | None:
+        """Highest-detection-rate variant (ties keep the earliest row);
+        ``None`` when the round detected nothing."""
+        best: str | None = None
+        best_rate = 0.0
+        for row in self.rows:
+            if row.detections and row.rate > best_rate:
+                best, best_rate = row.variant, row.rate
+        return best
+
+    def iter_samples(self) -> Iterable[DetectionSample]:
+        """Detection samples in row order, then capture order."""
+        for row in self.rows:
+            yield from self.detections.get(row.variant, ())
+
+
+@runtime_checkable
+class RefinePolicy(Protocol):
+    """Maps one round's observation to the next round's variants.
+
+    Return a (non-empty) ``name -> builder`` mapping to continue, or
+    ``None``/empty to stop the campaign early (converged, or nothing
+    detected to steer by).  Implementations must be deterministic in
+    the observation — that is what extends the campaign determinism
+    contract across rounds.
+    """
+
+    def refine(
+        self, observation: RoundObservation
+    ) -> Mapping[str, ScenarioBuilder] | None:
+        """Produce the next round's variants (``None`` = stop)."""
+        ...  # pragma: no cover - protocol
+
+
+def _sorted_values(values: Iterable[Any]) -> list[Any]:
+    """Distinct values in a deterministic order (numeric when possible)."""
+    distinct = list(dict.fromkeys(values))
+    try:
+        return sorted(distinct)
+    except TypeError:  # mixed/unorderable types: repr order is stable
+        return sorted(distinct, key=repr)
+
+
+@dataclass
+class GridZoom:
+    """Narrow the parameter grid around the highest-detection cell.
+
+    Every round, each varying parameter's value list shrinks to a
+    window of half its size (rounded up), centred on the best cell's
+    value in sorted value order and clamped to the list — so a
+    five-value sweep zooms 5 → 3 → 2 → 1, and a binary parameter pins
+    to the winning value immediately.  Parameters narrowed to a single
+    value ride along as fixed.  Stops when nothing was detected (no
+    gradient to follow) or the grid cannot narrow further.
+
+    ``params`` restricts zooming to the named parameters (others keep
+    their full value lists); ``None`` zooms every varying parameter.
+    """
+
+    params: tuple[str, ...] | None = None
+
+    def refine(
+        self, observation: RoundObservation
+    ) -> Mapping[str, ScenarioBuilder] | None:
+        best = observation.best_variant()
+        if best is None:
+            return None
+        refs = self._refs(observation)
+        scenario = self._scenario_name(refs)
+        key_sets = {
+            name: tuple(param for param, _v in ref.params)
+            for name, ref in refs.items()
+        }
+        if len(set(key_sets.values())) > 1:
+            raise ConfigError(
+                "GridZoom needs every variant to carry the same "
+                f"parameter set (a grid), got {sorted(set(key_sets.values()))}"
+            )
+        value_lists: dict[str, list[Any]] = {}
+        for ref in refs.values():
+            for param, value in ref.params:
+                value_lists.setdefault(param, []).append(value)
+        value_lists = {
+            param: _sorted_values(values)
+            for param, values in value_lists.items()
+        }
+        if self.params is not None:
+            unknown = sorted(set(self.params) - set(value_lists))
+            if unknown:
+                raise ConfigError(
+                    f"GridZoom params {unknown} are not parameters of "
+                    f"the observed variants; known: {sorted(value_lists)}"
+                )
+        best_point = dict(refs[best].params)
+        zoom = (
+            set(self.params)
+            if self.params is not None
+            else {p for p, vs in value_lists.items() if len(vs) > 1}
+        )
+        grid: dict[str, list[Any]] = {}
+        fixed: dict[str, Any] = {}
+        for param, values in value_lists.items():
+            if len(values) == 1:
+                fixed[param] = values[0]
+            elif param in zoom:
+                window = -(-len(values) // 2)
+                at = values.index(best_point[param])
+                start = min(
+                    max(0, at - (window - 1) // 2), len(values) - window
+                )
+                grid[param] = values[start : start + window]
+            else:
+                grid[param] = values
+        if not grid:
+            return None  # every parameter already pinned: converged
+        refined = grid_variants(
+            best.split("[", 1)[0], scenario, grid, **fixed
+        )
+        # Converged = same *refs* as the round just ran.  Names are not
+        # comparable across rounds: round-1 labels render the user's
+        # raw grid values ("ordered=false"), refined labels render the
+        # coerced ref params ("ordered=False") — comparing by name
+        # would rerun an identical grid once more under new spellings.
+        if set(refined.values()) == set(refs.values()):
+            return None  # no further narrowing possible
+        return refined
+
+    @staticmethod
+    def _refs(observation: RoundObservation) -> dict[str, ScenarioRef]:
+        refs: dict[str, ScenarioRef] = {}
+        for name, builder in observation.variants.items():
+            if not isinstance(builder, ScenarioRef):
+                raise ConfigError(
+                    f"GridZoom needs ScenarioRef variants to read "
+                    f"parameters from; variant {name!r} is "
+                    f"{type(builder).__name__}"
+                )
+            refs[name] = builder
+        return refs
+
+    @staticmethod
+    def _scenario_name(refs: Mapping[str, ScenarioRef]) -> str:
+        names = sorted({ref.name for ref in refs.values()})
+        if len(names) != 1:
+            raise ConfigError(
+                f"GridZoom needs a single-scenario grid, got {names}"
+            )
+        return names[0]
+
+
+@dataclass
+class SuccessiveHalving:
+    """Keep the top half of variants (by detection rate) each round.
+
+    Ranking is by descending rate with ties broken by row order, and
+    survivors keep their original relative order, so the emitted
+    mapping — and therefore every later round — is deterministic.
+    Stops when nothing was detected or ``min_variants`` is reached.
+    """
+
+    min_variants: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min_variants < 1:
+            raise ConfigError(
+                f"min_variants must be >= 1, got {self.min_variants}"
+            )
+
+    def refine(
+        self, observation: RoundObservation
+    ) -> Mapping[str, ScenarioBuilder] | None:
+        if observation.total_detections == 0:
+            return None
+        rows = observation.rows
+        count = len(rows)
+        keep = max(self.min_variants, -(-count // 2))
+        if keep >= count:
+            return None  # nothing left to drop
+        ranked = sorted(
+            range(count), key=lambda i: (-rows[i].rate, i)
+        )
+        survivors = {rows[i].variant for i in ranked[:keep]}
+        return {
+            name: builder
+            for name, builder in observation.variants.items()
+            if name in survivors
+        }
+
+
+@dataclass
+class ReplayFocus:
+    """Refine toward *replaying* what detected: each sampled detecting
+    run's recorded interleaving is parsed back into its source
+    patterns and re-merged under ``ops``, and the results ship as
+    :class:`~repro.ptest.replay.ReplayRef` cells — merged-pattern
+    replay batches on the same deduped-table wire format as registry
+    scenarios, swept across the campaign's seed set.
+
+    ``max_sources`` bounds how many detections seed the next round
+    (taken in row order, then capture order); ``seed`` roots the
+    deterministic per-merge RNG derivation.
+    """
+
+    ops: tuple[str, ...] = ("cyclic", "round_robin")
+    max_sources: int = 2
+    seed: int = 0
+    chunk: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.ops:
+            raise ConfigError("ReplayFocus needs at least one merge op")
+        if len(set(self.ops)) != len(self.ops):
+            # A repeated op would mint the same variant name twice and
+            # silently overwrite half the intended replay cells.
+            raise ConfigError(f"duplicate merge ops in {self.ops}")
+        if self.max_sources < 1:
+            raise ConfigError(
+                f"max_sources must be >= 1, got {self.max_sources}"
+            )
+
+    def refine(
+        self, observation: RoundObservation
+    ) -> Mapping[str, ScenarioBuilder] | None:
+        samples = list(observation.iter_samples())[: self.max_sources]
+        if not samples:
+            return None
+        refined: dict[str, ScenarioBuilder] = {}
+        for sample_index, sample in enumerate(samples):
+            base = self._base_ref(observation, sample.variant)
+            sources = parse_merged_description(
+                sample.merged_description
+            ).sources
+            for op_index, op in enumerate(self.ops):
+                # Seeds derive from (policy seed, round, sample, op
+                # position) only — no object identities, no str hashes —
+                # so re-merges are identical on every execution path.
+                merger = PatternMerger(
+                    op=op,
+                    seed=(
+                        self.seed
+                        + 1_009 * (observation.index + 1)
+                        + 10_007 * sample_index
+                        + 100_003 * op_index
+                    ),
+                    chunk=self.chunk,
+                )
+                merged = merger.merge_symbols(
+                    [pattern.symbols for pattern in sources]
+                )
+                name = f"replay[{sample.variant}@s{sample.seed}/{op}]"
+                refined[name] = replay_ref(base, merged)
+        return refined
+
+    @staticmethod
+    def _base_ref(
+        observation: RoundObservation, variant: str
+    ) -> ScenarioRef:
+        builder = observation.variants[variant]
+        if isinstance(builder, ReplayRef):
+            return builder.scenario  # replaying a replay: same base
+        if isinstance(builder, ScenarioRef):
+            return builder
+        raise ConfigError(
+            f"ReplayFocus needs ScenarioRef/ReplayRef variants to "
+            f"rebuild the platform from; variant {variant!r} is "
+            f"{type(builder).__name__}"
+        )
+
+
+@dataclass
+class Repeat:
+    """Re-emit the same variants every round.
+
+    The identity policy: useful as a stability baseline (rows must not
+    drift round over round) and as the benchmark workload measuring
+    pure round dispatch cost on a warm pool.
+    """
+
+    def refine(
+        self, observation: RoundObservation
+    ) -> Mapping[str, ScenarioBuilder] | None:
+        return dict(observation.variants)
+
+
+#: CLI/script-friendly registry of the built-in policy constructors.
+POLICIES: dict[str, type] = {
+    "grid_zoom": GridZoom,
+    "halving": SuccessiveHalving,
+    "replay": ReplayFocus,
+    "repeat": Repeat,
+}
+
+
+@dataclass
+class AdaptiveResult:
+    """Everything an adaptive run produced, round by round."""
+
+    rounds: list[RoundObservation]
+    #: True when the policy ended the campaign before ``rounds`` ran.
+    stopped_early: bool
+
+    @property
+    def final_rows(self) -> tuple[CampaignRow, ...]:
+        return self.rounds[-1].rows
+
+    @property
+    def pool_ids(self) -> tuple[int | None, ...]:
+        return tuple(r.pool_id for r in self.rounds)
+
+    @property
+    def pool_stable(self) -> bool:
+        """Whether every round dispatched through one pool generation
+        (all-``None`` counts: serial rounds have no pool to churn)."""
+        return len(set(self.pool_ids)) == 1
+
+    def variant_history(self) -> list[tuple[str, ...]]:
+        return [tuple(r.variants) for r in self.rounds]
+
+    def describe(self) -> str:
+        lines = []
+        for observation in self.rounds:
+            lines.append(
+                f"round {observation.index + 1}: "
+                f"{len(observation.rows)} variant(s), "
+                f"{observation.total_detections} detection(s)"
+            )
+            for row in observation.rows:
+                lines.append(
+                    f"  {row.variant}: {row.detections}/{row.runs}"
+                    + (f" {', '.join(row.kinds)}" if row.kinds else "")
+                )
+        if self.stopped_early:
+            lines.append("stopped early: policy returned no variants")
+        return "\n".join(lines)
+
+
+@dataclass
+class AdaptiveCampaign:
+    """Runs a campaign in policy-refined rounds on one warm pool.
+
+    Seed the first round with :meth:`add_scenario` / :meth:`add_grid`
+    (or :meth:`add_variant` with any
+    :class:`~repro.ptest.executor.ScenarioBuilder`), pick a
+    :class:`RefinePolicy`, and :meth:`run`.  Execution knobs mirror
+    :class:`~repro.ptest.campaign.Campaign` — ``workers`` /
+    ``batch_size`` / ``pool`` — with one addition: the pool is acquired
+    **once**, before round 1, and every round's campaign dispatches
+    through that same :class:`~repro.ptest.pool.WorkerPool`, so rounds
+    2+ reuse warm worker processes and their scenario/PFA/merged-
+    pattern caches (``AdaptiveResult.pool_stable`` certifies it).
+
+    ``rounds`` caps the round count; the policy may stop earlier by
+    returning no variants.  Results are identical at any ``(workers,
+    batch_size, warm/cold)`` — see the module docstring's contract.
+    """
+
+    seeds: Iterable[int] = (0, 1, 2, 3, 4)
+    rounds: int = 3
+    policy: RefinePolicy | None = None
+    variants: dict[str, ScenarioBuilder] = field(default_factory=dict)
+    workers: int | None = None
+    batch_size: int | None = None
+    pool: "WorkerPool | None" = None
+    #: Detecting cells sampled per variant per round (what policies see).
+    capture_per_variant: int = 4
+
+    def add_variant(self, name: str, builder: ScenarioBuilder) -> None:
+        """Register a round-1 variant under ``name``."""
+        if name in self.variants:
+            raise ValueError(f"variant {name!r} already registered")
+        self.variants[name] = builder
+
+    def add_scenario(self, name: str, scenario: str, **params: Any) -> None:
+        """Register registry scenario ``scenario`` (with fixed
+        ``params``) as round-1 variant ``name``."""
+        self.add_variant(name, scenario_ref(scenario, **params))
+
+    def add_grid(
+        self,
+        name: str,
+        scenario: str,
+        param_grid: Mapping[str, Sequence[Any]],
+        **fixed: Any,
+    ) -> list[str]:
+        """Seed round 1 with a parameter grid (see
+        :func:`~repro.ptest.campaign.grid_variants`); returns the
+        variant names in registration order."""
+        expanded = grid_variants(name, scenario, param_grid, **fixed)
+        for variant, ref in expanded.items():
+            self.add_variant(variant, ref)
+        return list(expanded)
+
+    def run(self, sink: ResultSink | None = None) -> AdaptiveResult:
+        """Execute up to ``rounds`` policy-refined campaign rounds.
+
+        ``sink`` (if given) additionally receives every round's
+        ``(cell, result)`` stream, in submission order.
+        """
+        if not self.variants:
+            raise ConfigError("adaptive campaign has no variants")
+        if self.rounds < 1:
+            raise ConfigError(f"rounds must be >= 1, got {self.rounds}")
+        policy = self.policy
+        if policy is None:
+            raise ConfigError(
+                f"adaptive campaign needs a refine policy "
+                f"(built-ins: {sorted(POLICIES)})"
+            )
+        pool = self.pool
+        if pool is None and self.workers is not None and self.workers > 1:
+            # One shared pool for every round — acquired here, not per
+            # round, so refinement never leaves the warm workers.
+            pool = get_pool(self.workers)
+        # Normalised once: a generator-valued ``seeds`` would otherwise
+        # be exhausted by round 1 and leave rounds 2+ with zero cells.
+        seeds = tuple(self.seeds)
+        current: dict[str, ScenarioBuilder] = dict(self.variants)
+        observations: list[RoundObservation] = []
+        stopped_early = False
+        for index in range(self.rounds):
+            campaign = Campaign(
+                seeds=seeds,
+                workers=self.workers,
+                batch_size=self.batch_size,
+                pool=pool,
+                keep_results=False,
+            )
+            campaign.variants = dict(current)
+            capture = DetectionCapture(
+                limit_per_variant=self.capture_per_variant
+            )
+            round_sink: ResultSink = capture
+            if sink is not None:
+                round_sink = TeeSink((capture, sink))
+            rows = campaign.run(sink=round_sink)
+            observation = RoundObservation(
+                index=index,
+                variants=dict(current),
+                rows=tuple(rows),
+                detections={
+                    name: capture.for_variant(name) for name in current
+                    if capture.for_variant(name)
+                },
+                pool_id=campaign.last_pool_id,
+            )
+            observations.append(observation)
+            if index + 1 == self.rounds:
+                break
+            refined = policy.refine(observation)
+            if not refined:
+                stopped_early = True
+                break
+            current = dict(refined)
+        return AdaptiveResult(
+            rounds=observations, stopped_early=stopped_early
+        )

@@ -32,6 +32,93 @@ from repro.ptest.pool import WorkerPool
 from repro.workloads.registry import ScenarioRef, scenario_ref
 
 
+def grid_variants(
+    name: str,
+    scenario: str,
+    param_grid: Mapping[str, Sequence[Any]],
+    **fixed: Any,
+) -> dict[str, ScenarioRef]:
+    """Expand a parameter grid into named :class:`ScenarioRef` variants.
+
+    ``param_grid`` maps parameter names to the values to sweep; the
+    cartesian product (in the mapping's key order) becomes variants
+    named ``{name}[k1=v1,k2=v2,...]``, each mapped to a validated ref
+    with ``fixed`` parameters applied.  This is the shared expansion
+    behind :meth:`Campaign.add_grid` and the adaptive campaign's
+    round-refinement policies (``GridZoom`` re-invokes it every round
+    on a narrowed grid), so variant naming stays identical wherever a
+    grid is built.
+    """
+    overlap = sorted(set(param_grid) & set(fixed))
+    if overlap:
+        raise ConfigError(
+            f"parameters {overlap} appear both fixed and in the grid"
+        )
+    keys = list(param_grid)
+    variants: dict[str, ScenarioRef] = {}
+    for combo in itertools.product(*(param_grid[key] for key in keys)):
+        point = dict(zip(keys, combo))
+        label = ",".join(f"{key}={point[key]}" for key in keys)
+        variant = f"{name}[{label}]" if label else name
+        if variant in variants:
+            raise ValueError(f"variant {variant!r} already registered")
+        variants[variant] = scenario_ref(scenario, **fixed, **point)
+    return variants
+
+
+@dataclass(frozen=True)
+class DetectionSample:
+    """One detecting run's reproduction-relevant fields, as captured by
+    :class:`DetectionCapture` — everything a refinement policy needs to
+    steer the next round (or mint a replay cell) without retaining the
+    full :class:`~repro.ptest.harness.TestRunResult`."""
+
+    variant: str
+    seed: int
+    kind: str
+    merged_op: str
+    #: The interleaving at detection, rendered (``TC[p0#1] ...``) — the
+    #: picklable currency of :mod:`repro.ptest.replay`.
+    merged_description: str
+
+
+@dataclass
+class DetectionCapture:
+    """Streaming sink retaining a bounded sample of detections.
+
+    Feeds round-aware consumers (the adaptive campaign hands one to
+    every round's :meth:`Campaign.run`): per variant, the first
+    ``limit_per_variant`` detecting cells — submission order, so the
+    sample is identical at any ``(workers, batch_size, warm/cold)`` —
+    are kept as compact :class:`DetectionSample` values.  Compatible
+    with ``keep_results=False`` campaigns: only strings and counters
+    survive the stream.
+    """
+
+    limit_per_variant: int = 4
+    samples: dict[str, list[DetectionSample]] = field(default_factory=dict)
+
+    def accept(self, cell: WorkCell, result: TestRunResult) -> None:
+        if not result.found_bug:
+            return
+        kept = self.samples.setdefault(cell.variant, [])
+        if len(kept) >= self.limit_per_variant:
+            return
+        report = result.report
+        kept.append(
+            DetectionSample(
+                variant=cell.variant,
+                seed=cell.seed,
+                kind=report.primary.kind.value,
+                merged_op=report.merged_op,
+                merged_description=report.merged_description,
+            )
+        )
+
+    def for_variant(self, variant: str) -> tuple[DetectionSample, ...]:
+        return tuple(self.samples.get(variant, ()))
+
+
 @dataclass(frozen=True)
 class CampaignRow:
     """Summary of one variant across its seeds."""
@@ -172,26 +259,14 @@ class Campaign:
 
         ``param_grid`` maps parameter names to the values to sweep; the
         cartesian product (in the mapping's key order) becomes variants
-        named ``{name}[k1=v1,k2=v2,...]``.  ``fixed`` parameters are
-        applied to every point.  Returns the variant names, in
-        registration order.
+        named ``{name}[k1=v1,k2=v2,...]`` (see :func:`grid_variants`).
+        ``fixed`` parameters are applied to every point.  Returns the
+        variant names, in registration order.
         """
-        overlap = sorted(set(param_grid) & set(fixed))
-        if overlap:
-            raise ConfigError(
-                f"parameters {overlap} appear both fixed and in the grid"
-            )
-        keys = list(param_grid)
-        names = []
-        for combo in itertools.product(*(param_grid[key] for key in keys)):
-            point = dict(zip(keys, combo))
-            label = ",".join(f"{key}={point[key]}" for key in keys)
-            variant = f"{name}[{label}]" if label else name
-            self.add_variant(
-                variant, scenario_ref(scenario, **fixed, **point)
-            )
-            names.append(variant)
-        return names
+        expanded = grid_variants(name, scenario, param_grid, **fixed)
+        for variant, ref in expanded.items():
+            self.add_variant(variant, ref)
+        return list(expanded)
 
     def run(
         self,
@@ -223,7 +298,7 @@ class Campaign:
         )
         fan_out: ResultSink = campaign_sink
         if sink is not None:
-            fan_out = _TeeSink((campaign_sink, sink))
+            fan_out = TeeSink((campaign_sink, sink))
         executor = CellExecutor(
             workers=effective,
             batch_size=(
@@ -252,7 +327,7 @@ class Campaign:
 
 
 @dataclass
-class _TeeSink:
+class TeeSink:
     """Fans each accepted result out to several sinks, in order."""
 
     sinks: tuple[ResultSink, ...]

@@ -14,10 +14,13 @@ execution model:
   :class:`~repro.workloads.registry.ScenarioRef` — a picklable
   ``(name, params)`` value that resolves its builder through the
   scenario registry *inside the worker process*, so any scenario
-  (lambda-built, closure-built, whatever) parallelises.  Raw callables
-  are still accepted; ones that cannot be pickled degrade to the
-  serial path with a :class:`RuntimeWarning` (detected up front with a
-  pickle probe, never mid-campaign).
+  (lambda-built, closure-built, whatever) parallelises.  Merged-pattern
+  replay cells (:class:`~repro.ptest.replay.ReplayRef`: a base ref plus
+  a rendered interleaving, what adaptive campaigns' ``ReplayFocus``
+  rounds are made of) are equally portable and dispatch identically.
+  Raw callables are still accepted; ones that cannot be pickled degrade
+  to the serial path with a :class:`RuntimeWarning` (detected up front
+  with a pickle probe, never mid-campaign).
 * **Warm pools.**  Parallel runs submit to a
   :class:`~repro.ptest.pool.WorkerPool` — either one passed explicitly
   (``pool=``) or the process-wide shared pool for the requested worker

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Protocol
+from typing import Callable, Protocol, Sequence
 
 from repro.errors import ConfigError
 from repro.ptest.patterns import MergedPattern, PatternCommand, TestPattern
@@ -196,3 +196,21 @@ class PatternMerger:
         merged = MergedPattern(commands=commands, op=self.op, sources=list(patterns))
         merged.validate()
         return merged
+
+    def merge_symbols(
+        self, symbol_lists: Sequence[Sequence[str]]
+    ) -> MergedPattern:
+        """Merge raw symbol sequences (pattern ids assigned by position).
+
+        The re-merge entry point for recorded material: a run's
+        ``TestRunResult.patterns`` or a parsed report's source symbols
+        come back as plain tuples, and this wraps them in fresh
+        :class:`TestPattern` values before merging — so an adaptive
+        campaign can re-interleave yesterday's detecting patterns under
+        a different op without reconstructing generator state.
+        """
+        patterns = [
+            TestPattern(pattern_id=index, symbols=tuple(symbols))
+            for index, symbols in enumerate(symbol_lists)
+        ]
+        return self.merge(patterns)

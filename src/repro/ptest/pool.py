@@ -39,6 +39,16 @@ it:
   varied — by seed, say — would simply recompile), and compiled
   sampling is bit-identical to the uncompiled walk by construction.
 
+  Merged-pattern replay cells (:class:`~repro.ptest.replay.ReplayRef`,
+  what the adaptive campaign's ``ReplayFocus`` policy emits) ride the
+  same path: the ref's base :class:`ScenarioRef` resolves through the
+  identical machinery and the parsed
+  :class:`~repro.ptest.patterns.MergedPattern` is memoized per
+  ``ReplayRef.cache_key``, so N replay seeds of one recorded
+  interleaving parse its description once per worker.  The parsed
+  pattern is read-only to the harness (the committer keeps its own
+  cursor), so sharing one instance across runs cannot change results.
+
 Every layer preserves the executor's correctness bar: campaign output
 is row-for-row identical at any ``(workers, batch_size, warm/cold)``
 configuration.
@@ -47,6 +57,7 @@ configuration.
 from __future__ import annotations
 
 import atexit
+import pickle
 import threading
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -54,6 +65,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.automata.compiled import CompiledPFA
+from repro.errors import ConfigError
 from repro.ptest.harness import AdaptiveTest
 
 if TYPE_CHECKING:
@@ -320,6 +332,15 @@ def make_batch_table(
     the default one — so the dedupe key also carries the bound
     registry's identity, and a bound ref never collapses into an
     equal-looking ref that would build a different scenario.
+
+    Table entries that present a ``cache_key`` (scenario refs, replay
+    refs) are probed for picklability as they enter the table: a ref
+    carrying an unpicklable payload — a hashable-but-unpicklable
+    parameter value, say — raises :class:`~repro.errors.ConfigError`
+    naming the offender here, instead of an opaque pickle crash deep
+    inside the pool submission machinery.  (Raw callables keep their
+    existing contract: the executor's up-front portability probe routes
+    unpicklable ones to the serial path before any table is built.)
     """
     if len(builders) != len(seeds):
         raise ValueError(
@@ -338,6 +359,8 @@ def make_batch_table(
             position = None
         if position is None:
             position = len(table)
+            if hasattr(builder, "cache_key"):
+                _check_ref_payload(builder)
             table.append(builder)
             try:
                 index[key] = position
@@ -345,6 +368,34 @@ def make_batch_table(
                 pass
         jobs.append((position, seed))
     return tuple(table), tuple(jobs)
+
+
+def _check_ref_payload(builder: Any) -> None:
+    """Reject a ref-like table entry whose payload cannot be pickled.
+
+    Ref construction validates hashability only — a value can be
+    hashable yet unpicklable (a closure-held object, a binding to a
+    registry of lambdas).  The executor's up-front portability probe
+    shields its own dispatch path by degrading to serial, but anyone
+    driving :func:`make_batch_table`/:func:`run_table_batch` directly
+    (benches, embedders, future dispatchers) used to get a raw
+    ``PicklingError`` from inside ``ProcessPoolExecutor.submit``; the
+    table is the one place every batch passes through, so the explicit
+    error lives here.  Probed once per *distinct* table entry — deduped
+    refs are tiny, so the probe is noise next to the submission pickle
+    it predicts.
+    """
+    try:
+        pickle.dumps(builder)
+    except Exception as error:
+        describe = getattr(builder, "describe", None)
+        label = describe() if callable(describe) else repr(builder)
+        raise ConfigError(
+            f"batch-table entry {label} cannot be pickled to worker "
+            f"processes ({type(error).__name__}: {error}); ScenarioRef/"
+            "ReplayRef payloads must be picklable to ride the batch "
+            "wire format — run with workers=1 to keep it in-process"
+        ) from error
 
 
 def run_table_batch(
@@ -356,9 +407,14 @@ def run_table_batch(
     (default-registry) ``ScenarioRef``\\ s run through the worker cache —
     resolution, parameter validation and PFA compilation are memoized
     per :attr:`~repro.workloads.registry.ScenarioRef.cache_key` for the
-    life of the worker process; everything else (raw callables, refs
-    bound to a custom registry) runs uncached exactly as before.
+    life of the worker process.  Portable
+    :class:`~repro.ptest.replay.ReplayRef` replay cells likewise: their
+    base scenario resolves through the same cache and the parsed merged
+    pattern is memoized per replay key.  Everything else (raw
+    callables, refs bound to a custom registry) runs uncached exactly
+    as before.
     """
+    from repro.ptest.replay import ReplayRef
     from repro.workloads.registry import ScenarioRef
 
     results = []
@@ -366,6 +422,8 @@ def run_table_batch(
         builder = table[position]
         if isinstance(builder, ScenarioRef) and builder.registry is None:
             results.append(_run_cached_ref(builder, seed))
+        elif isinstance(builder, ReplayRef) and builder.portable:
+            results.append(_run_cached_replay(builder, seed))
         else:
             results.append(builder(seed).run())
     return results
@@ -378,6 +436,9 @@ class _CacheEntry:
     builder: Callable[..., Any]
     params: dict[str, Any]
     compiled: CompiledPFA | None = None
+    #: Parsed merged pattern of a replay cell (``None`` for plain
+    #: scenario entries) — read-only to the harness, safely shared.
+    merged: Any = None
     hits: int = 0
     compilations: int = 0
 
@@ -396,22 +457,57 @@ _WORKER_CACHE: dict[tuple, _CacheEntry] = {}
 MAX_WORKER_CACHE_ENTRIES = 512
 
 
-def _run_cached_ref(ref: "ScenarioRef", seed: int) -> "TestRunResult":
-    from repro.workloads.registry import REGISTRY
-
-    entry = _WORKER_CACHE.get(ref.cache_key)
+def _cache_entry(cache_key: tuple, factory: Callable[[], _CacheEntry]) -> _CacheEntry:
+    """Fetch-or-build one worker-cache slot (FIFO-capped)."""
+    entry = _WORKER_CACHE.get(cache_key)
     if entry is None:
-        spec = REGISTRY.get(ref.name)
-        entry = _CacheEntry(
-            builder=spec.builder, params=spec.validate(dict(ref.params))
-        )
+        entry = factory()
         while len(_WORKER_CACHE) >= MAX_WORKER_CACHE_ENTRIES:
             _WORKER_CACHE.pop(next(iter(_WORKER_CACHE)))
-        _WORKER_CACHE[ref.cache_key] = entry
+        _WORKER_CACHE[cache_key] = entry
     else:
         entry.hits += 1
+    return entry
+
+
+def _resolved_entry(ref: "ScenarioRef", merged: Any = None) -> _CacheEntry:
+    from repro.workloads.registry import REGISTRY
+
+    spec = REGISTRY.get(ref.name)
+    return _CacheEntry(
+        builder=spec.builder,
+        params=spec.validate(dict(ref.params)),
+        merged=merged,
+    )
+
+
+def _run_cached_ref(ref: "ScenarioRef", seed: int) -> "TestRunResult":
+    entry = _cache_entry(ref.cache_key, lambda: _resolved_entry(ref))
     test = entry.builder(seed, **entry.params)
     _prime_compiled_pfa(test, entry)
+    return test.run()
+
+
+def _run_cached_replay(ref: Any, seed: int) -> "TestRunResult":
+    """Run one replay cell through the worker cache.
+
+    The cache slot holds the base scenario's resolved builder/params
+    *and* the parsed merged pattern, keyed by the replay ref's own
+    ``cache_key`` — distinct from (and coexisting with) the plain
+    scenario entry for the same base ref.
+    """
+    entry = _cache_entry(
+        ref.cache_key,
+        lambda: _resolved_entry(ref.scenario, merged=ref.merged()),
+    )
+    test = entry.builder(seed, **entry.params)
+    if not isinstance(test, AdaptiveTest):
+        raise ConfigError(
+            f"replay cell {ref.describe()} built "
+            f"{type(test).__name__}, not an AdaptiveTest"
+        )
+    _prime_compiled_pfa(test, entry)
+    test.merged_override = entry.merged
     return test.run()
 
 

@@ -1,4 +1,4 @@
-"""Replaying serialized bug reports.
+"""Replaying serialized bug reports and portable merged-pattern refs.
 
 A :class:`~repro.ptest.report.BugReport` serialises to a plain dict
 (``to_dict``), including the merged pattern rendered as
@@ -6,11 +6,20 @@ A :class:`~repro.ptest.report.BugReport` serialises to a plain dict
 into a :class:`~repro.ptest.patterns.MergedPattern` and re-runs it with
 ``merged_override`` — so a bug found yesterday and saved as JSON can be
 re-triggered today without the original process.
+
+:class:`ReplayRef` is the *campaign-grade* form of the same idea: a
+picklable ``(scenario ref, merged description)`` value object that is a
+:class:`~repro.ptest.executor.ScenarioBuilder`, so recorded
+interleavings ride the executor's deduped batch-table wire format and
+the worker-side caches exactly like registry scenarios do (see
+:mod:`repro.ptest.pool`).  The adaptive campaign's ``ReplayFocus``
+policy emits these to re-drive detecting interleavings across seeds.
 """
 
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
 from repro.errors import ConfigError
@@ -19,6 +28,7 @@ from repro.pcore.programs import TaskProgram
 from repro.ptest.config import PTestConfig
 from repro.ptest.harness import AdaptiveTest, TestRunResult
 from repro.ptest.patterns import MergedPattern, PatternCommand, TestPattern
+from repro.workloads.registry import ScenarioRef
 
 _COMMAND_RE = re.compile(r"^(?P<symbol>[A-Za-z0-9_]+)\[p(?P<pair>\d+)#(?P<seq>\d+)\]$")
 
@@ -56,6 +66,101 @@ def parse_merged_description(text: str) -> MergedPattern:
     merged = MergedPattern(commands=commands, op="replayed", sources=sources)
     merged.validate()
     return merged
+
+
+@dataclass(frozen=True)
+class ReplayRef:
+    """A picklable merged-pattern replay cell.
+
+    ``scenario`` names the base workload (platform config, programs,
+    setup hook) through the registry; ``description`` is a merged
+    pattern rendered by :meth:`MergedPattern.describe` — both plain
+    values, so a replay ref crosses a process boundary as cheaply as a
+    :class:`~repro.workloads.registry.ScenarioRef` does.  Calling the
+    ref with a seed builds the base scenario for that seed and replays
+    exactly the recorded interleaving over it via ``merged_override``
+    (generation and merging are skipped; the seed still drives noise,
+    platform and detector randomness), so one recorded interleaving can
+    be swept across seeds like any other campaign variant.
+
+    Refs are value objects — equality/hash cover ``(scenario,
+    description)`` — so equal replay cells collapse to one batch-table
+    entry and one worker-cache slot (:attr:`cache_key`), with the
+    parsed :class:`~repro.ptest.patterns.MergedPattern` memoized
+    per worker alongside the resolved base scenario.  The description
+    is validated at construction, not first dispatch, so a malformed
+    rendering fails in the process that minted it.
+    """
+
+    scenario: ScenarioRef
+    description: str
+    #: Parsed eagerly in the minting process (validation), lazily after
+    #: unpickling — a worker parses only on a cache miss, so N batches
+    #: carrying the same ref cost one parse per worker, not per batch.
+    _merged: MergedPattern | None = field(
+        init=False, repr=False, compare=False, hash=False, default=None
+    )
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.scenario, ScenarioRef):
+            raise ConfigError(
+                f"ReplayRef.scenario must be a ScenarioRef, got "
+                f"{type(self.scenario).__name__}"
+            )
+        object.__setattr__(
+            self, "_merged", parse_merged_description(self.description)
+        )
+
+    def __getstate__(self) -> tuple[ScenarioRef, str]:
+        return (self.scenario, self.description)
+
+    def __setstate__(self, state: tuple[ScenarioRef, str]) -> None:
+        object.__setattr__(self, "scenario", state[0])
+        object.__setattr__(self, "description", state[1])
+        object.__setattr__(self, "_merged", None)
+
+    @property
+    def cache_key(self) -> tuple:
+        """Worker-cache key; disjoint from plain ScenarioRef keys."""
+        return ("replay", self.scenario.cache_key, self.description)
+
+    @property
+    def portable(self) -> bool:
+        """Whether workers can resolve this ref (default registry)."""
+        return self.scenario.registry is None
+
+    def merged(self) -> MergedPattern:
+        """The recorded interleaving, parsed (and memoized) on demand."""
+        if self._merged is None:
+            object.__setattr__(
+                self, "_merged", parse_merged_description(self.description)
+            )
+        return self._merged
+
+    def __call__(self, seed: int) -> AdaptiveTest:
+        test = self.scenario(seed)
+        if not isinstance(test, AdaptiveTest):
+            raise ConfigError(
+                f"scenario {self.scenario.describe()} builds "
+                f"{type(test).__name__}, not an AdaptiveTest; merged-"
+                "pattern replay needs the adaptive harness"
+            )
+        test.merged_override = self.merged()
+        return test
+
+    def describe(self) -> str:
+        return f"replay({self.scenario.describe()}, {self.description!r})"
+
+
+def replay_ref(
+    scenario: ScenarioRef, merged: MergedPattern | str
+) -> ReplayRef:
+    """Build a :class:`ReplayRef` from a live merged pattern or its
+    rendered description."""
+    description = (
+        merged if isinstance(merged, str) else merged.describe()
+    )
+    return ReplayRef(scenario=scenario, description=description)
 
 
 def replay_report_dict(

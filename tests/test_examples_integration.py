@@ -46,6 +46,16 @@ def test_distribution_tuning():
     assert "1000 traces" in output
 
 
+def test_adaptive_sweep():
+    output = run_example("adaptive_sweep.py")
+    assert "adaptive philosophers sweep" in output
+    assert "round 3" in output
+    # The zoom pins away the ordered control and narrows hold_steps.
+    assert "ordered=True" in output  # swept in round 1...
+    assert "phil[hold_steps=15]" in output  # ...zoomed to 1 cell by round 3
+    assert "pool stable across rounds: True" in output
+
+
 @pytest.mark.slow
 def test_stress_pcore():
     output = run_example("stress_pcore.py", "1")

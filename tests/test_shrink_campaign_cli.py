@@ -334,6 +334,68 @@ class TestCli:
 
         assert main(["campaign", "no_such_scenario"]) == 2
 
+    def test_adapt_grid_zoom_narrows_rounds(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "adapt",
+                    "philosophers",
+                    "--seeds",
+                    "2",
+                    "--rounds",
+                    "2",
+                    "--grid",
+                    "ordered=false,true",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "policy=grid_zoom" in output
+        assert "-- round 1" in output and "-- round 2" in output
+        # Round 1 sweeps both halves; the zoom pins the buggy one.
+        assert "philosophers[ordered=true]" in output
+        assert "philosophers[ordered=false]" in output
+        assert "deadlock" in output
+
+    def test_adapt_replay_policy_emits_replay_cells(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "adapt",
+                    "philosophers",
+                    "--seeds",
+                    "2",
+                    "--rounds",
+                    "2",
+                    "--policy",
+                    "replay",
+                    "--max-sources",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "policy=replay" in output
+        assert "replay[philosophers@s0/cyclic]" in output
+
+    def test_adapt_unknown_scenario_clean_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["adapt", "no_such_scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().out
+
+    def test_adapt_bad_rounds_clean_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["adapt", "philosophers", "--rounds", "0"]) == 2
+        assert "rounds" in capsys.readouterr().out
+
     def test_sweep_unknown_fault(self, capsys):
         from repro.cli import main
 

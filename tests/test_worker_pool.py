@@ -393,6 +393,24 @@ class TestBatchTable:
         with pytest.raises(ValueError, match="cell-for-cell"):
             make_batch_table([ref, ref], [0])
 
+    def test_unpicklable_ref_payload_rejected_explicitly(self):
+        # A ref can satisfy construction-time validation (hashable
+        # params) yet carry an unpicklable payload — here a binding to
+        # a registry whose builder is a local closure.  Before the
+        # explicit probe this surfaced as a raw PicklingError from deep
+        # inside the pool submission machinery; the table must reject
+        # it by name instead.
+        from repro.errors import ConfigError
+        from repro.workloads.registry import ScenarioRegistry
+
+        registry = ScenarioRegistry()
+        registry.register(
+            "unpicklable_payload", lambda seed, tasks=2: None
+        )
+        ref = registry.ref("unpicklable_payload", tasks=2)
+        with pytest.raises(ConfigError, match="cannot be pickled"):
+            make_batch_table([ref], [0])
+
     def test_unhashable_builders_ship_undeduped(self):
         class Unhashable:
             __hash__ = None
