@@ -8,7 +8,6 @@ snapshotting during a live run.
 
 from __future__ import annotations
 
-from repro.pcore.tcb import TaskState
 from repro.ptest.patterns import TestPattern
 from repro.ptest.recording import ProcessStateRecorder
 

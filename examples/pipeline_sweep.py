@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Zoom-then-replay: a composed refinement pipeline on one warm pool.
+
+Stage 1 (``grid_zoom``, 2 rounds) sweeps the dining philosophers over a
+2 x 3 grid — buggy cyclic acquisition vs the ordered control, across
+three fork-hold durations — and narrows toward the highest-detection
+cell.  Stage 2 (``replay``, 2 rounds) then takes the zoomed-in round's
+recorded deadlock interleavings, re-merges them, and re-drives them as
+merged-pattern replay cells across every seed.
+
+The :class:`PolicyPipeline` is itself a ``RefinePolicy``, so the
+engine, the warm worker pool and the determinism contract are exactly
+those of a single-policy adaptive campaign.  Between rounds the
+campaign pre-warms the pool: each refined round's new refs (the zoomed
+grid, then the replay cells) ship to the workers while the parent is
+still setting the round up, so no round's first batch pays scenario
+resolution or automaton compilation.  Watch ``pool_id`` stay constant
+and the prewarmed-refs counter grow.
+
+Run:  python examples/pipeline_sweep.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.ptest.adaptive import AdaptiveCampaign, GridZoom, ReplayFocus
+from repro.ptest.pipeline import PipelineStage, PolicyPipeline
+from repro.ptest.pool import shutdown_pools
+
+SEEDS = (0, 1, 2)
+
+
+def main() -> None:
+    pipeline = PolicyPipeline(
+        (
+            PipelineStage(GridZoom(), rounds=2, name="zoom"),
+            PipelineStage(
+                ReplayFocus(ops=("cyclic",), max_sources=2),
+                rounds=2,
+                name="replay",
+            ),
+        )
+    )
+    campaign = AdaptiveCampaign(
+        seeds=SEEDS,
+        rounds=pipeline.total_rounds(),
+        policy=pipeline,
+        workers=2,
+    )
+    campaign.add_grid(
+        "phil",
+        "philosophers",
+        {"ordered": [False, True], "hold_steps": [15, 30, 60]},
+    )
+    print(
+        f"pipeline sweep: {pipeline.describe()} x {len(SEEDS)} seeds "
+        f"({pipeline.total_rounds()} rounds max)"
+    )
+    result = campaign.run()
+    stage_labels = dict(pipeline.stage_log)
+    for observation in result.rounds:
+        stage = stage_labels.get(observation.index)
+        stage_note = f", stage={stage}" if stage else ""
+        print(
+            f"\nround {observation.index + 1} "
+            f"(pool_id={observation.pool_id}{stage_note}): "
+            f"{len(observation.rows)} variant(s), "
+            f"{observation.total_detections} detection(s)"
+        )
+        for row in observation.rows:
+            kinds = f"  [{', '.join(row.kinds)}]" if row.kinds else ""
+            print(
+                f"  {row.variant:<58} {row.detections}/{row.runs}{kinds}"
+            )
+    print(
+        f"\npool stable across the composed schedule: {result.pool_stable}"
+        f"; prewarmed {result.prewarmed_refs} ref(s) between rounds"
+        + ("  (stopped early)" if result.stopped_early else "")
+    )
+    shutdown_pools()
+
+
+if __name__ == "__main__":
+    main()

@@ -171,23 +171,56 @@ def _parse_grid(pairs: list[str] | None) -> dict[str, list[str]]:
 def _cmd_adapt(args: argparse.Namespace) -> int:
     from repro.analysis.text_report import render_campaign
     from repro.ptest.adaptive import POLICIES, AdaptiveCampaign
+    from repro.ptest.pipeline import parse_pipeline
     from repro.ptest.pool import close_pool
 
+    if args.pipeline is not None and args.policy is not None:
+        print(
+            "--policy and --pipeline are mutually exclusive; a pipeline "
+            "is itself the policy schedule"
+        )
+        return 2
+    pipeline = None
     try:
         # Construct inside the try: policy/param validation errors are
         # config problems and must exit 2, not traceback.
-        policy_kwargs = (
-            {"max_sources": args.max_sources}
-            if args.policy == "replay"
-            else {}
-        )
-        policy = POLICIES[args.policy](**policy_kwargs)
+        replay_kwargs = {"max_sources": args.max_sources}
+        if args.pipeline is not None:
+            pipeline = parse_pipeline(
+                args.pipeline, policy_kwargs={"replay": replay_kwargs}
+            )
+            policy = pipeline
+            rounds = args.rounds
+            if rounds is None:
+                rounds = pipeline.total_rounds()
+                if rounds is None:
+                    raise ConfigError(
+                        f"pipeline {args.pipeline!r} has an unbounded "
+                        "final stage; give --rounds to cap the campaign"
+                    )
+        else:
+            policy_name = args.policy if args.policy is not None else "grid_zoom"
+            # `choices=` already filters CLI input; the lookup stays
+            # defensive for embedders calling main() with a bad name —
+            # a ConfigError listing the registry, never a KeyError.
+            factory = POLICIES.get(policy_name)
+            if factory is None:
+                raise ConfigError(
+                    f"unknown policy {policy_name!r}; "
+                    f"known policies: {', '.join(sorted(POLICIES))}"
+                )
+            policy_kwargs = (
+                replay_kwargs if policy_name == "replay" else {}
+            )
+            policy = factory(**policy_kwargs)
+            rounds = args.rounds if args.rounds is not None else 3
         campaign = AdaptiveCampaign(
             seeds=tuple(range(args.seeds)),
-            rounds=args.rounds,
+            rounds=rounds,
             policy=policy,
             workers=args.workers,
             batch_size=args.batch_size,
+            prewarm=not args.no_prewarm,
         )
         fixed = _parse_params(args.param)
         grid = _parse_grid(args.grid)
@@ -204,21 +237,43 @@ def _cmd_adapt(args: argparse.Namespace) -> int:
     finally:
         if not args.keep_pool:
             close_pool(args.workers)
+    schedule = (
+        f"pipeline={pipeline.describe()}"
+        if pipeline is not None
+        else f"policy={args.policy or 'grid_zoom'}"
+    )
     print(
         f"adaptive campaign: {args.scenario} x {args.seeds} seed(s), "
-        f"policy={args.policy}, {len(result.rounds)}/{args.rounds} "
+        f"{schedule}, {len(result.rounds)}/{rounds} "
         f"round(s), workers={args.workers}"
         + (" [stopped early]" if result.stopped_early else "")
+        + (
+            f" [prewarmed {result.prewarmed_refs} ref(s)]"
+            if result.prewarmed_refs
+            else ""
+        )
     )
+    stage_labels = dict(pipeline.stage_log) if pipeline is not None else {}
+    if pipeline is not None and pipeline.current_stage is not None:
+        # The budget-capped final round is never refined, so it misses
+        # the stage log; the stage left active is the one that ran it.
+        last_index = result.rounds[-1].index
+        stage_labels.setdefault(last_index, pipeline.current_stage.label)
     for observation in result.rounds:
         pool_note = (
             f" pool_id={observation.pool_id}"
             if observation.pool_id is not None
             else ""
         )
+        stage_note = (
+            f" stage={stage_labels[observation.index]}"
+            if observation.index in stage_labels
+            else ""
+        )
         print(
             f"-- round {observation.index + 1}: "
-            f"{observation.total_detections} detection(s){pool_note}"
+            f"{observation.total_detections} detection(s)"
+            f"{stage_note}{pool_note}"
         )
         print(render_campaign(list(observation.rows)))
     return 0
@@ -411,17 +466,36 @@ def build_parser() -> argparse.ArgumentParser:
     adapt_p.add_argument(
         "--rounds",
         type=int,
-        default=3,
-        help="maximum refinement rounds (policy may stop earlier)",
+        default=None,
+        help="maximum refinement rounds (policy may stop earlier; "
+        "default 3, or the pipeline's own total when --pipeline is "
+        "given)",
     )
     adapt_p.add_argument(
         "--policy",
         choices=_policy_choices(),
-        default="grid_zoom",
+        default=None,
         help="refine policy steering each next round (default grid_zoom: "
         "narrow the grid around the highest-detection cell; halving: "
         "drop the bottom half of variants; replay: re-merge detecting "
         "interleavings into replay cells; repeat: rerun unchanged)",
+    )
+    adapt_p.add_argument(
+        "--pipeline",
+        metavar="NAME:ROUNDS,...",
+        default=None,
+        help='composed policy schedule, e.g. "grid_zoom:3,replay:2" — '
+        "run each stage's policy for its round count, handing the "
+        "latest round's detections to the next stage (mutually "
+        "exclusive with --policy; only the final stage may omit "
+        ":rounds, capped by --rounds)",
+    )
+    adapt_p.add_argument(
+        "--no-prewarm",
+        action="store_true",
+        help="disable cross-round worker-cache pre-warming (results "
+        "are identical either way; useful for benchmarking round-start "
+        "cost)",
     )
     adapt_p.add_argument(
         "--max-sources",

@@ -25,6 +25,11 @@ the simulated OMAP platform:
   warm pool: pluggable ``RefinePolicy`` (grid zoom, successive halving,
   merged-pattern replay focus) feeding detection results back into the
   next round's scenario refs.
+* :mod:`repro.ptest.pipeline` — composable refinement schedules:
+  ``PolicyPipeline`` stages existing policies (zoom for N rounds, then
+  replay once detections plateau) and is itself a ``RefinePolicy``,
+  with cross-round pre-warming keeping the pool's caches hot between
+  stages.
 """
 
 from repro.ptest.config import PTestConfig
@@ -62,6 +67,14 @@ from repro.ptest.adaptive import (
     RoundObservation,
     SuccessiveHalving,
 )
+from repro.ptest.pipeline import (
+    PipelineStage,
+    Plateau,
+    PolicyPipeline,
+    StageCondition,
+    Until,
+    parse_pipeline,
+)
 from repro.ptest.executor import (
     CellExecutor,
     CollectSink,
@@ -75,6 +88,7 @@ from repro.ptest.pool import (
     close_pool,
     get_pool,
     make_batch_table,
+    prewarm_table,
     run_table_batch,
     shutdown_pools,
 )
@@ -132,6 +146,12 @@ __all__ = [
     "ReplayFocus",
     "RoundObservation",
     "SuccessiveHalving",
+    "PipelineStage",
+    "Plateau",
+    "PolicyPipeline",
+    "StageCondition",
+    "Until",
+    "parse_pipeline",
     "CellExecutor",
     "CollectSink",
     "ResultSink",
@@ -142,6 +162,7 @@ __all__ = [
     "close_pool",
     "get_pool",
     "make_batch_table",
+    "prewarm_table",
     "run_table_batch",
     "shutdown_pools",
     "IncrementalWaitForGraph",

@@ -31,9 +31,20 @@ Built-in policies:
     Re-emits the same variants every round — the stability/benchmark
     baseline (rounds differ only in warm-up state, never in results).
 
+Policies compose into staged schedules (zoom for three rounds, then
+replay once detections plateau) via
+:class:`~repro.ptest.pipeline.PolicyPipeline` — itself a
+:class:`RefinePolicy`, so composed schedules run through this engine
+unchanged.  Between rounds the campaign *pre-warms* the worker pool:
+the refined round's distinct refs ship to the workers the moment the
+policy emits them (see :meth:`~repro.ptest.pool.WorkerPool.prewarm`),
+so cross-round scenario resolution and automaton compilation overlap
+round setup instead of serialising into the next round's first batches.
+
 **Determinism contract.**  For a fixed seed set and policy, the
 round-by-round variant sets and every round's rows are bit-identical at
-any ``(workers, batch_size, warm/cold)`` execution configuration:
+any ``(workers, batch_size, warm/cold, prewarm on/off)`` execution
+configuration:
 campaign rows already are, detection samples are captured in submission
 order, and every built-in policy is a pure function of its
 :class:`RoundObservation` (stochastic re-merging derives its RNG seeds
@@ -400,6 +411,10 @@ class AdaptiveResult:
     rounds: list[RoundObservation]
     #: True when the policy ended the campaign before ``rounds`` ran.
     stopped_early: bool
+    #: Distinct cache keys shipped to workers ahead of rounds 2+ (0 on
+    #: serial runs, or with pre-warming disabled) — perf telemetry
+    #: only, never part of the determinism fingerprint.
+    prewarmed_refs: int = 0
 
     @property
     def final_rows(self) -> tuple[CampaignRow, ...]:
@@ -465,6 +480,14 @@ class AdaptiveCampaign:
     pool: "WorkerPool | None" = None
     #: Detecting cells sampled per variant per round (what policies see).
     capture_per_variant: int = 4
+    #: Ship each refined round's distinct refs to the workers (via
+    #: :meth:`~repro.ptest.pool.WorkerPool.prewarm`) as soon as the
+    #: policy emits them, so round N+1's scenario resolution and PFA
+    #: compilation happen while the parent is still setting the round
+    #: up.  Results are bit-identical on or off (the worker cache is
+    #: equality-checked before reuse); disable to measure cold
+    #: round-start cost, or when rounds rarely introduce new refs.
+    prewarm: bool = True
 
     def add_variant(self, name: str, builder: ScenarioBuilder) -> None:
         """Register a round-1 variant under ``name``."""
@@ -519,6 +542,7 @@ class AdaptiveCampaign:
         current: dict[str, ScenarioBuilder] = dict(self.variants)
         observations: list[RoundObservation] = []
         stopped_early = False
+        prewarmed_refs = 0
         for index in range(self.rounds):
             campaign = Campaign(
                 seeds=seeds,
@@ -553,6 +577,16 @@ class AdaptiveCampaign:
                 stopped_early = True
                 break
             current = dict(refined)
+            if self.prewarm and pool is not None:
+                # Cross-round pre-warming: the next round's variants
+                # are known the moment the policy returns, so their
+                # distinct refs go to the workers now — resolution and
+                # PFA compilation overlap the parent-side round setup
+                # below instead of serialising into the round's first
+                # batches.  Fire-and-forget; results cannot change.
+                prewarmed_refs += pool.prewarm(current.values())
         return AdaptiveResult(
-            rounds=observations, stopped_early=stopped_early
+            rounds=observations,
+            stopped_early=stopped_early,
+            prewarmed_refs=prewarmed_refs,
         )

@@ -251,6 +251,45 @@ class CellExecutor:
                 results.append(result)
         return results
 
+    def prewarm(
+        self,
+        builders: Mapping[str, ScenarioBuilder] | Sequence[ScenarioBuilder],
+        wait: bool = False,
+    ) -> int:
+        """Warm the worker caches for an upcoming :meth:`run_cells`.
+
+        Resolves the same pool the next parallel run would use (the
+        explicit ``pool=`` or the shared pool for ``workers``) and
+        ships the distinct portable refs among ``builders`` to it via
+        :meth:`~repro.ptest.pool.WorkerPool.prewarm`, so workers
+        resolve scenarios and compile pattern automata *now* — while
+        the caller is still assembling cells — instead of inside the
+        run's first batches.  Adaptive campaigns call this between
+        rounds; embedders that know their next sweep can do the same.
+
+        Best-effort and result-neutral (see the pool method); a no-op
+        returning 0 on the serial path (``workers``/pool resolve to 1),
+        where no worker caches exist to warm.
+        """
+        effective_workers = self.workers
+        if effective_workers is None:
+            effective_workers = (
+                self.pool.workers if self.pool is not None else 1
+            )
+        if effective_workers <= 1:
+            return 0
+        pool = (
+            self.pool
+            if self.pool is not None
+            else get_pool(effective_workers)
+        )
+        values = (
+            builders.values()
+            if isinstance(builders, Mapping)
+            else builders
+        )
+        return pool.prewarm(values, wait=wait)
+
     def _portable(self, builders: Mapping[str, ScenarioBuilder]) -> bool:
         """Whether every builder can be shipped to a worker process."""
         return all(_picklable(builder) for builder in builders.values())

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.bridge.bridge import BridgeMaster, SlaveBridgeAdapter, build_bridge
+from repro.bridge.bridge import SlaveBridgeAdapter, build_bridge
 from repro.bridge.protocol import (
     CommandFrame,
     MAX_PRIORITY,

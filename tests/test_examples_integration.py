@@ -56,6 +56,17 @@ def test_adaptive_sweep():
     assert "pool stable across rounds: True" in output
 
 
+def test_pipeline_sweep():
+    output = run_example("pipeline_sweep.py")
+    assert "pipeline sweep: zoom:2 -> replay:2" in output
+    # Stage 1 zooms the grid, stage 2 re-drives recorded deadlocks.
+    assert "stage=zoom" in output
+    assert "stage=replay" in output
+    assert "replay[phil[" in output
+    assert "pool stable across the composed schedule: True" in output
+    assert "prewarmed 4 ref(s)" in output
+
+
 @pytest.mark.slow
 def test_stress_pcore():
     output = run_example("stress_pcore.py", "1")

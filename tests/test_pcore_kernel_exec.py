@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.pcore.kernel import KernelConfig, PCoreKernel
 from repro.pcore.memory import TCB_BYTES
 from repro.pcore.programs import (

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.ptest.detector import AnomalyKind
 from repro.workloads.scenarios import (
     lifecycle_pfa,

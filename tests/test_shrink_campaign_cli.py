@@ -396,6 +396,63 @@ class TestCli:
         assert main(["adapt", "philosophers", "--rounds", "0"]) == 2
         assert "rounds" in capsys.readouterr().out
 
+    def test_adapt_unknown_policy_exits_listing_choices(self, capsys):
+        from repro.cli import main
+
+        # argparse rejects the name up front: clean usage error (exit
+        # 2) naming every registered policy, never a KeyError traceback.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["adapt", "philosophers", "--policy", "nope"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        for name in ("grid_zoom", "halving", "replay", "repeat"):
+            assert name in err
+
+    def test_adapt_unknown_policy_via_embedding_call(self, capsys):
+        # Embedders invoking the handler with an unvalidated namespace
+        # (bypassing argparse choices) get the ConfigError path: exit 2
+        # and the POLICIES keys listed, not a KeyError.
+        import argparse
+
+        from repro.cli import _cmd_adapt
+
+        args = argparse.Namespace(
+            scenario="philosophers",
+            rounds=None,
+            policy="nope",
+            pipeline=None,
+            max_sources=2,
+            seeds=2,
+            workers=1,
+            batch_size=None,
+            param=None,
+            grid=None,
+            keep_pool=False,
+            no_prewarm=False,
+        )
+        assert _cmd_adapt(args) == 2
+        output = capsys.readouterr().out
+        assert "unknown policy 'nope'" in output
+        assert "grid_zoom" in output and "replay" in output
+
+    def test_adapt_policy_and_pipeline_mutually_exclusive(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "adapt",
+                    "philosophers",
+                    "--policy",
+                    "repeat",
+                    "--pipeline",
+                    "repeat:2",
+                ]
+            )
+            == 2
+        )
+        assert "mutually exclusive" in capsys.readouterr().out
+
     def test_sweep_unknown_fault(self, capsys):
         from repro.cli import main
 

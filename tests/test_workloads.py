@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import ReproError
 from repro.pcore.kernel import KernelConfig, PCoreKernel
-from repro.pcore.services import ServiceCode, ServiceRequest
+from repro.pcore.services import ServiceRequest
 from repro.pcore.tcb import TaskState
 from repro.sim.memory import SharedMemory
 from repro.workloads.fig1 import run_fig1
