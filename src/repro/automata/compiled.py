@@ -96,10 +96,22 @@ class CompiledPFA:
         )
 
     def is_absorbing(self, state: int) -> bool:
-        return not self.symbols[state]
+        return not self.rows[state][0]
 
     def arc_count(self, state: int) -> int:
-        return len(self.symbols[state])
+        return self.rows[state][0]
+
+    def __getstate__(self) -> dict:
+        # The batch sampler caches its padded numpy packing on the
+        # instance (see repro.automata.batch.packed_rows); that is
+        # derived data and numpy arrays besides, so pickles — worker
+        # dispatch, result payloads — carry only the real fields.
+        state = dict(self.__dict__)
+        state.pop("_packed_rows", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     def transition(self, state: int, index: int) -> Transition:
         """Materialise arc ``index`` of ``state`` as a :class:`Transition`

@@ -19,6 +19,11 @@ instead of re-sorting transition dicts on every step.  Seeded output is
 bit-for-bit identical to the legacy dict-walking sampler: the RNG is
 consumed once per multi-arc state, and the cumulative rows are built by
 the same left-to-right float additions the legacy linear scan performed.
+
+This walk is also the scalar *reference* for the vectorized
+:class:`~repro.automata.batch.BatchSampler`, which advances many seeded
+walks in lockstep and must reproduce this sampler's output bit for bit
+(see that module's lockstep-front RNG-order contract).
 """
 
 from __future__ import annotations

@@ -1,0 +1,190 @@
+"""Batched deadlock detection over recorded wait-for snapshots.
+
+The scalar sweep checks one wait-for graph at a time: build successor
+lists, sort, run the three-colour DFS of
+:func:`repro.ptest.waitgraph.find_cycle_edges`.  Campaign-scale
+auditing replays *many* recorded snapshots (one per wait-graph delta,
+per run) — a per-snapshot Python loop again.  This module batches that
+loop the same way :mod:`repro.automata.batch` batches sampling:
+
+1. **Vectorized screen** — all snapshots' edges are flattened into one
+   ``(run, waiter, owner)`` edge table, node ids are densified per
+   ``(run, node)`` pair with :func:`numpy.unique`, and a Kahn in-degree
+   peel removes zero-in-degree nodes across *every* snapshot at once.
+   The peel iterates (vectorized per step) until no zero-in-degree node
+   remains; a snapshot has surviving edges **iff** it is cyclic — the
+   screen is exact, not heuristic.
+2. **Scalar confirm** — only the cyclic survivors (the rare case) are
+   handed to :func:`find_cycle_edges`, so the reported cycle is the
+   very one the scalar sweep would have found, edge order included.
+
+Without numpy (or under ``REPRO_NO_NUMPY``) the whole thing falls back
+to the per-snapshot scalar loop, bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.automata.batch import numpy_or_none, require_numpy
+from repro.ptest.detector import AnomalyKind
+from repro.ptest.waitgraph import find_cycle_edges
+
+EdgeSet = Sequence[tuple[int, int]]
+
+
+def _resolve_numpy(use_numpy: bool | None, context: str):
+    """The shared three-state guard: ``True`` demands numpy
+    (:class:`~repro.errors.ConfigError` if missing), ``False`` forces
+    the scalar loop, ``None`` auto-detects."""
+    if use_numpy is False:
+        return None
+    if use_numpy is True:
+        return require_numpy(context)
+    return numpy_or_none()
+
+
+def find_cycles_batch(
+    edge_sets: Sequence[EdgeSet],
+    *,
+    use_numpy: bool | None = None,
+) -> list[list[tuple[int, int]] | None]:
+    """Per-snapshot first cycle (or ``None``), for many snapshots at
+    once.
+
+    Returns exactly ``[find_cycle_edges(edges) for edges in
+    edge_sets]`` — the numpy path only changes *how fast* the acyclic
+    majority is ruled out, never the answer.
+    """
+    np = _resolve_numpy(use_numpy, "find_cycles_batch(use_numpy=True)")
+    if np is None:
+        return [find_cycle_edges(edges) for edges in edge_sets]
+
+    counts = np.fromiter(
+        (len(edges) for edges in edge_sets),
+        dtype=np.int64,
+        count=len(edge_sets),
+    )
+    total = int(counts.sum())
+    if total == 0:
+        return [None] * len(edge_sets)
+    flat = np.array(
+        [edge for edges in edge_sets for edge in edges], dtype=np.int64
+    ).reshape(total, 2)
+    run_of_edge = np.repeat(np.arange(len(edge_sets), dtype=np.int64), counts)
+
+    # Densify (run, node) pairs into contiguous ids so one peel covers
+    # every snapshot: nodes of different runs never alias.
+    low = int(flat.min())
+    stride = int(flat.max()) - low + 1
+    src_keys = run_of_edge * stride + (flat[:, 0] - low)
+    dst_keys = run_of_edge * stride + (flat[:, 1] - low)
+    keys, inverse = np.unique(
+        np.concatenate((src_keys, dst_keys)), return_inverse=True
+    )
+    src_ids = inverse[:total]
+    dst_ids = inverse[total:]
+    node_count = len(keys)
+
+    # Kahn peel, all runs in lockstep: repeatedly drop zero-in-degree
+    # nodes and their outgoing edges.  Iteration count is the longest
+    # acyclic chain, with every step vectorized over the whole table.
+    indegree = np.bincount(dst_ids, minlength=node_count)
+    removed = np.zeros(node_count, dtype=bool)
+    edge_alive = np.ones(total, dtype=bool)
+    frontier = indegree == 0
+    while frontier.any():
+        removed |= frontier
+        dying = edge_alive & frontier.take(src_ids)
+        if dying.any():
+            edge_alive &= ~dying
+            indegree -= np.bincount(dst_ids[dying], minlength=node_count)
+        frontier = (indegree == 0) & ~removed
+
+    cyclic = np.zeros(len(edge_sets), dtype=bool)
+    cyclic[run_of_edge[edge_alive]] = True
+    return [
+        find_cycle_edges(edge_sets[index]) if flag else None
+        for index, flag in enumerate(cyclic.tolist())
+    ]
+
+
+def cycle_tids_batch(
+    edge_sets: Sequence[EdgeSet],
+    *,
+    use_numpy: bool | None = None,
+) -> list[tuple[int, ...] | None]:
+    """Sorted waiter tids of each snapshot's first cycle — the same
+    reduction :class:`~repro.ptest.detector.BugDetector` applies before
+    debouncing and reporting."""
+    return [
+        tuple(sorted({edge[0] for edge in cycle})) if cycle else None
+        for cycle in find_cycles_batch(edge_sets, use_numpy=use_numpy)
+    ]
+
+
+@dataclass
+class DeadlockAudit:
+    """Outcome of re-checking recorded wait-graph deltas in batch.
+
+    ``confirmed`` counts runs whose reported deadlock's task set was
+    re-found as a cycle in at least one recorded snapshot;
+    ``unsupported`` lists ``(run_index, tids)`` for reported deadlocks
+    no recorded snapshot supports (an inconsistency worth failing on).
+    ``cyclic_without_report`` counts runs where some snapshot held a
+    cycle but no deadlock was reported — legitimate under the
+    detector's confirmation debounce, so informational only.
+    """
+
+    runs: int = 0
+    snapshots: int = 0
+    confirmed: int = 0
+    cyclic_without_report: int = 0
+    unsupported: list[tuple[int, tuple[int, ...]]] = field(
+        default_factory=list
+    )
+
+    @property
+    def consistent(self) -> bool:
+        return not self.unsupported
+
+
+def audit_deadlocks(
+    results: Iterable,
+    *,
+    use_numpy: bool | None = None,
+) -> DeadlockAudit:
+    """Cross-check many runs' reported deadlocks against their recorded
+    wait-graph deltas in one batched pass.
+
+    Each result must carry ``wait_deltas`` (runs executed with
+    ``record_wait_deltas=True``) and ``anomalies``.  All runs'
+    snapshots are screened in a single :func:`find_cycles_batch` call —
+    this is the "per-run Python loop" the batched sweep replaces.
+    """
+    results = list(results)
+    snapshots: list[EdgeSet] = []
+    spans: list[tuple[int, int]] = []
+    for result in results:
+        deltas = getattr(result, "wait_deltas", ())
+        begin = len(snapshots)
+        snapshots.extend(edges for _tick, edges in deltas)
+        spans.append((begin, len(snapshots)))
+    cycles = cycle_tids_batch(snapshots, use_numpy=use_numpy)
+
+    audit = DeadlockAudit(runs=len(results), snapshots=len(snapshots))
+    for index, (result, (begin, end)) in enumerate(zip(results, spans)):
+        found = {cycle for cycle in cycles[begin:end] if cycle is not None}
+        reported = {
+            anomaly.tids
+            for anomaly in result.anomalies
+            if anomaly.kind is AnomalyKind.DEADLOCK
+        }
+        if reported and reported <= found:
+            audit.confirmed += 1
+        elif found and not reported:
+            audit.cyclic_without_report += 1
+        for tids in sorted(reported - found):
+            audit.unsupported.append((index, tids))
+    return audit

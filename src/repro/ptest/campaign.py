@@ -225,6 +225,10 @@ class Campaign:
     workers: int | None = None
     batch_size: int | None = None
     pool: "WorkerPool | None" = None
+    #: Vectorized pattern sampling inside worker batches — forwarded to
+    #: :class:`~repro.ptest.executor.CellExecutor`; rows are identical
+    #: at every setting.
+    batch_sampling: bool | None = None
     keep_results: bool = True
     #: ``WorkerPool.pool_id`` the last :meth:`run` dispatched through
     #: (``None`` after a serial run) — equal ids across runs certify
@@ -305,6 +309,7 @@ class Campaign:
                 self.batch_size if batch_size is None else batch_size
             ),
             pool=self.pool,
+            batch_sampling=self.batch_sampling,
         )
         executor.run_cells(self.variants, cells, sink=fan_out)
         self.last_pool_id = executor.last_pool_id

@@ -75,6 +75,10 @@ class DetectorConfig:
     #: Require the blocked set to be stable across this many sweeps
     #: before declaring deadlock (debounce against transient contention).
     deadlock_confirmations: int = 2
+    #: Record a ``(tick, edge-set)`` snapshot on every sweep whose
+    #: wait-graph refresh actually changed edges.  The recorded deltas
+    #: feed the batched re-check of :mod:`repro.ptest.batchdetect`.
+    record_wait_deltas: bool = False
 
 
 @dataclass
@@ -94,6 +98,13 @@ class BugDetector:
     _last_cycle: tuple[int, ...] = ()
     _cycle_streak: int = 0
     _reported: set[tuple] = field(default_factory=set)
+    #: ``(tick, edges)`` per changed sweep, when
+    #: ``config.record_wait_deltas`` is set.  Edges are stored in the
+    #: exact order the scalar cycle search consumes them, so replaying
+    #: a delta through :meth:`sweep_batch` reproduces its cycle.
+    wait_deltas: list[tuple[int, tuple[tuple[int, int], ...]]] = field(
+        default_factory=list
+    )
 
     @property
     def triggered(self) -> bool:
@@ -148,8 +159,30 @@ class BugDetector:
             ),
         )
 
+    @staticmethod
+    def sweep_batch(
+        snapshots: "list[tuple[tuple[int, int], ...]]",
+        *,
+        use_numpy: bool | None = None,
+    ) -> "list[tuple[int, ...] | None]":
+        """Check many recorded wait-graph snapshots in one batched pass.
+
+        Returns each snapshot's sorted cycle-member tids (the same
+        reduction :meth:`_check_deadlock` applies before debouncing) or
+        ``None``.  Vectorized screen + scalar confirm — see
+        :mod:`repro.ptest.batchdetect`; falls back to the per-snapshot
+        scalar search without numpy, bit-identically.
+        """
+        from repro.ptest.batchdetect import cycle_tids_batch
+
+        return cycle_tids_batch(snapshots, use_numpy=use_numpy)
+
     def _check_deadlock(self, now: int) -> list[Anomaly]:
-        self.waitgraph.refresh(self.kernel.resources)
+        if (
+            self.waitgraph.refresh(self.kernel.resources)
+            and self.config.record_wait_deltas
+        ):
+            self.wait_deltas.append((now, self.waitgraph.snapshot()))
         cycle_edges = self.waitgraph.find_cycle()
         if cycle_edges is None:
             self._cycle_streak = 0

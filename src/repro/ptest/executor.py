@@ -167,6 +167,18 @@ class CellExecutor:
         consecutive runs reuse warm workers; pass an explicit pool for
         deterministic lifetime control (its width governs the actual
         process count).
+    batch_sampling:
+        Vectorized pattern sampling for same-variant cell groups inside
+        each worker batch (see
+        :func:`~repro.ptest.pool.run_table_batch`).  ``None`` (the
+        default) auto-detects numpy; ``True`` demands the fast path,
+        raising :class:`~repro.errors.ConfigError` up front when numpy
+        is unavailable (or disabled via ``REPRO_NO_NUMPY``); ``False``
+        forces scalar sampling.  Results are bit-identical at every
+        setting — only worker-side throughput changes.  The serial
+        path (``workers=1``) always samples scalar: each cell builds
+        its own generator in-process, and there is no batch to share a
+        sampler across.
 
     After :meth:`run_cells` returns, ``ran_parallel`` records which
     path executed — ``False`` plus a :class:`RuntimeWarning` when
@@ -178,6 +190,7 @@ class CellExecutor:
     workers: int | None = None
     batch_size: int | None = None
     pool: "WorkerPool | None" = None
+    batch_sampling: bool | None = None
     #: Which path the last :meth:`run_cells` took (None before any run).
     ran_parallel: bool | None = None
     #: Effective batch size of the last parallel run (None = serial).
@@ -212,6 +225,13 @@ class CellExecutor:
         if requested is not None and requested < 1:
             # Reject on every path, not just when the pool would run.
             raise ValueError(f"batch_size must be >= 1, got {requested}")
+        if self.batch_sampling is True:
+            # Fail the explicit request here, in the parent, with a
+            # ConfigError naming the fix — not an ImportError (or the
+            # worker-side backstop) deep inside a pool process.
+            from repro.automata.batch import require_numpy
+
+            require_numpy("CellExecutor(batch_sampling=True)")
         self.last_batch_size = None
         self.batches_submitted = 0
         self.last_pool_id = None
@@ -355,7 +375,9 @@ class CellExecutor:
                 [builders[cell.variant] for cell in batch],
                 [cell.seed for cell in batch],
             )
-            future, pool_id = pool.submit_tagged(run_table_batch, table, jobs)
+            future, pool_id = pool.submit_tagged(
+                run_table_batch, table, jobs, self.batch_sampling
+            )
             # Refresh on every submission: submit_tagged respawns a
             # broken pool silently, and telemetry must name the pool
             # that actually took the work.

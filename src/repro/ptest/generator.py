@@ -19,16 +19,18 @@ Distributions can be given three ways:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Sequence
 
+from repro.automata.batch import BatchSampler
 from repro.automata.compiled import CompiledPFA
 from repro.automata.dfa import DFA, minimize_dfa, nfa_to_dfa
 from repro.automata.distributions import TransitionDistribution
 from repro.automata.nfa import regex_to_nfa
 from repro.automata.pfa import PFA, build_pfa
 from repro.automata.regex_parser import parse_regex
-from repro.automata.sampling import OnFinal, PatternSampler
+from repro.automata.sampling import OnFinal, PatternSampler, SampledPattern
 from repro.errors import ConfigError, DistributionError
 from repro.ptest.patterns import TestPattern
 
@@ -148,4 +150,135 @@ class PatternGenerator:
     def accepts(self, symbols: tuple[str, ...] | list[str]) -> bool:
         """Whether a symbol sequence is a *prefix walk* of the PFA — used
         by tests to re-validate every generated pattern against the RE."""
+        return self.pfa.walk_probability(tuple(symbols)) > 0.0
+
+
+@dataclass
+class SharedPatternBatch:
+    """One vectorized sampler feeding many harness cells' generators.
+
+    The worker-side batching bridge: a batch of same-variant campaign
+    cells shares one :class:`~repro.automata.batch.BatchSampler` over
+    the variant's compiled automaton, with one lockstep *column* per
+    cell (seeded with that cell's own generator seed).  Cells run
+    sequentially inside the worker, so each cell's patterns are staged
+    in a per-cell FIFO: whenever any cell needs a pattern none of its
+    rounds have produced yet, one lockstep ``sample(size)`` advances
+    *every* cell by one pattern and queues the results.  Per-cell draw
+    order is exactly the scalar order (the sampler's lockstep-front
+    contract), so the queue any single cell drains is bit-identical to
+    what its own ``PatternSampler(seed)`` would have produced — no
+    matter how the other cells interleave their consumption.
+
+    ``size`` is fixed per batch (it is fixed per scenario config);
+    :meth:`next_pattern` rejects a mismatching request rather than
+    silently desynchronising the lockstep draws.
+    """
+
+    pfa: PFA | CompiledPFA
+    seeds: Sequence[int | None]
+    size: int
+    on_final: OnFinal = "stop"
+    use_numpy: bool | None = None
+    sampler: BatchSampler = field(init=False, repr=False)
+    _queues: list[deque] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ConfigError(
+                f"pattern size must be >= 1, got {self.size}"
+            )
+        self.sampler = BatchSampler(
+            self.pfa,
+            self.seeds,
+            on_final=self.on_final,
+            use_numpy=self.use_numpy,
+        )
+        self._queues = [deque() for _ in self.seeds]
+
+    @property
+    def cells(self) -> int:
+        return self.sampler.cells
+
+    def prime(self, rounds: int) -> None:
+        """Pre-draw ``rounds`` patterns per cell (one vectorized pass
+        per round) — typically the first harness round's full
+        ``pattern_count``, drawn before any cell starts running."""
+        for _ in range(rounds):
+            self._advance()
+
+    def _advance(self) -> None:
+        for queue, pattern in zip(self._queues, self.sampler.sample(self.size)):
+            queue.append(pattern)
+
+    def next_pattern(self, cell: int, size: int) -> SampledPattern:
+        if size != self.size:
+            raise ConfigError(
+                f"shared pattern batch was built for size {self.size}, "
+                f"cell requested {size}"
+            )
+        queue = self._queues[cell]
+        if not queue:
+            self._advance()
+        return queue.popleft()
+
+    def stream(self, cell: int) -> "BatchPatternStream":
+        """Cell ``cell``'s generator-shaped view of this batch."""
+        return BatchPatternStream(shared=self, cell=cell)
+
+
+@dataclass
+class BatchPatternStream:
+    """One cell's :class:`PatternGenerator`-shaped view of a
+    :class:`SharedPatternBatch`.
+
+    Presents the exact generator surface the harness consumes
+    (:meth:`generate` / :meth:`generate_batch` with the same validation
+    errors, the ``generated`` counter, :meth:`accepts`) while drawing
+    its patterns from the shared vectorized sampler.
+    :meth:`matches` is the harness-side guard: the stream is only ever
+    substituted for a scalar generator walking the *same compiled
+    automaton* with the *same seed*, so substitution can never change a
+    run's output.
+    """
+
+    shared: SharedPatternBatch
+    cell: int
+    generated: int = 0
+
+    @property
+    def seed(self) -> int | None:
+        return self.shared.seeds[self.cell]
+
+    @property
+    def pfa(self) -> PFA:
+        return self.shared.sampler.compiled.source
+
+    def matches(
+        self, pfa: PFA | CompiledPFA | None, seed: int | None
+    ) -> bool:
+        """Whether this stream reproduces ``PatternGenerator.from_pfa(
+        pfa, seed=seed)`` bit for bit: identical compiled automaton
+        (object identity — the worker cache substitutes the very
+        instance the batch walks) and identical generator seed."""
+        return pfa is self.shared.sampler.compiled and seed == self.seed
+
+    def generate(self, size: int, pattern_id: int = 0) -> TestPattern:
+        if size < 1:
+            raise ConfigError(f"pattern size must be >= 1, got {size}")
+        sampled = self.shared.next_pattern(self.cell, size)
+        self.generated += 1
+        return TestPattern(
+            pattern_id=pattern_id,
+            symbols=sampled.symbols,
+            states=sampled.states,
+            log_probability=sampled.log_probability,
+        )
+
+    def generate_batch(self, count: int, size: int) -> list[TestPattern]:
+        if count < 1:
+            raise ConfigError(f"pattern count must be >= 1, got {count}")
+        return [self.generate(size, pattern_id=i) for i in range(count)]
+
+    def accepts(self, symbols: tuple[str, ...] | list[str]) -> bool:
         return self.pfa.walk_probability(tuple(symbols)) > 0.0

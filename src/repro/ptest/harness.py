@@ -29,7 +29,7 @@ from repro.pcore.tcb import TaskState
 from repro.ptest.committer import Committer
 from repro.ptest.config import PTestConfig
 from repro.ptest.detector import Anomaly, BugDetector, DetectorConfig
-from repro.ptest.generator import PatternGenerator
+from repro.ptest.generator import BatchPatternStream, PatternGenerator
 from repro.ptest.merger import PatternMerger
 from repro.ptest.patterns import MergedPattern
 from repro.ptest.pcore_model import PCORE_REGULAR_EXPRESSION, pcore_pfa
@@ -57,6 +57,9 @@ class TestRunResult:
     service_counts: dict[str, int]
     patterns: list[tuple[str, ...]]
     merged_length: int
+    #: ``(tick, edge-set)`` wait-graph deltas, recorded only when the
+    #: config sets ``record_wait_deltas`` (off by default: empty).
+    wait_deltas: tuple[tuple[int, tuple[tuple[int, int], ...]], ...] = ()
 
     @property
     def found_bug(self) -> bool:
@@ -104,6 +107,15 @@ class AdaptiveTest:
     #: pattern (single round).  Used by the systematic (CHESS-lite)
     #: baseline and by reproduction of externally crafted interleavings.
     merged_override: "MergedPattern | None" = None
+    #: When set (by the worker-side batch dispatch of
+    #: :mod:`repro.ptest.pool`), this cell draws its patterns from a
+    #: shared vectorized sampler instead of building a scalar
+    #: :class:`PatternGenerator`.  Guarded: the stream is used only if
+    #: :meth:`BatchPatternStream.matches` confirms it walks the same
+    #: compiled automaton with the same generator seed this run would
+    #: have used, so the substitution can never change output (the
+    #: sampler's lockstep walk is bit-identical to the scalar one).
+    generator_override: "BatchPatternStream | None" = None
 
     def pattern_pfa(self) -> PFA | CompiledPFA | None:
         """The automaton the generator will walk, ``None`` for the regex
@@ -138,7 +150,18 @@ class AdaptiveTest:
         """Execute Algorithm 1 until a bug, budget exhaustion, or done."""
         config = self.config
         streams = RngStreams(master_seed=config.seed)
-        generator = self._build_generator(streams.fresh_seed("generator"))
+        # The generator seed is drawn unconditionally so the merger and
+        # noise streams below see the same draw order whether or not a
+        # batch stream substitutes for the scalar generator.
+        generator_seed = streams.fresh_seed("generator")
+        override = self.generator_override
+        generator: PatternGenerator | BatchPatternStream
+        if override is not None and override.matches(
+            self.pattern_pfa(), generator_seed
+        ):
+            generator = override
+        else:
+            generator = self._build_generator(generator_seed)
         merger = PatternMerger(
             op=config.op,
             seed=streams.fresh_seed("merger"),
@@ -172,6 +195,7 @@ class AdaptiveTest:
                 reply_timeout=config.reply_timeout,
                 progress_window=config.progress_window,
                 interval=config.detector_interval,
+                record_wait_deltas=config.record_wait_deltas,
             ),
             tracer=self.tracer,
         )
@@ -285,6 +309,7 @@ class AdaptiveTest:
             service_counts=dict(kernel.stats.invoked),
             patterns=all_patterns,
             merged_length=merged_length,
+            wait_deltas=tuple(detector.wait_deltas),
         )
 
     @staticmethod

@@ -31,6 +31,13 @@ def find_cycle_edges(
     Deterministic: roots and successors are explored in sorted order, so
     the same edge set always yields the same cycle.  Iterative
     three-colour DFS — no recursion, no external graph library.
+
+    This is the *scalar confirm reference* for the batched sweep: the
+    vectorized screen of :mod:`repro.ptest.batchdetect` only decides
+    *whether* a snapshot is cyclic (an exact property — the Kahn peel
+    removes every node iff the graph is acyclic) and hands each cyclic
+    survivor back to this function, so batch results carry the very
+    same first cycle the per-run search would have returned.
     """
     successors: dict[int, list[int]] = {}
     for source, target in edges:
@@ -145,6 +152,17 @@ class IncrementalWaitForGraph:
             if (waiter, owner) in edges:
                 return name
         raise KeyError(f"no wait-for edge {waiter} -> {owner}")
+
+    def snapshot(self) -> tuple[tuple[int, int], ...]:
+        """The current flat ``(waiter, owner)`` edge set, in the exact
+        order :meth:`find_cycle` feeds :func:`find_cycle_edges` — so a
+        recorded snapshot replayed through the batched sweep reproduces
+        the scalar search's cycle bit for bit."""
+        return tuple(
+            edge
+            for edges in self._edges_by_resource.values()
+            for edge in edges
+        )
 
     def find_cycle(self) -> list[tuple[int, int]] | None:
         """First wait-for cycle as edge pairs; cached until edges move."""

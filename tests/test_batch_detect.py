@@ -1,0 +1,243 @@
+"""Batched deadlock detection: screen + confirm vs the scalar search.
+
+:func:`~repro.ptest.batchdetect.find_cycles_batch` promises exactly
+``[find_cycle_edges(edges) for edges in edge_sets]`` — the vectorized
+Kahn peel only rules out the acyclic majority faster, and cyclic
+survivors are confirmed by the very scalar search the sweep would have
+run.  These tests sweep that promise over seeded random digraphs and
+the degenerate shapes (empty sets, self-loops, disjoint multi-cycles),
+then cover the recording path end to end: ``record_wait_deltas``
+snapshots taken during a real deadlocking run, the snapshot-order
+contract, :meth:`BugDetector.sweep_batch`, and the campaign-level
+:func:`audit_deadlocks` consistency verdicts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+import pytest
+
+from repro.automata.batch import NO_NUMPY_ENV, numpy_available
+from repro.errors import ConfigError
+from repro.ptest.batchdetect import (
+    DeadlockAudit,
+    audit_deadlocks,
+    cycle_tids_batch,
+    find_cycles_batch,
+)
+from repro.ptest.detector import Anomaly, AnomalyKind, BugDetector
+from repro.ptest.waitgraph import IncrementalWaitForGraph, find_cycle_edges
+from repro.workloads.scenarios import philosophers_case2
+
+
+def random_edge_sets(seed: int, count: int) -> list[list[tuple[int, int]]]:
+    """``count`` small random digraphs, cyclic and acyclic mixed."""
+    rng = random.Random(seed)
+    sets = []
+    for _ in range(count):
+        nodes = rng.randrange(0, 9)
+        edges = [
+            (rng.randrange(nodes), rng.randrange(nodes))
+            for _ in range(rng.randrange(0, 2 * nodes + 1))
+        ] if nodes else []
+        sets.append(edges)
+    return sets
+
+
+class TestFindCyclesBatch:
+    @pytest.mark.parametrize("seed", [0, 1, 7, 2026])
+    def test_matches_scalar_on_random_digraphs(self, seed):
+        sets = random_edge_sets(seed, 120)
+        expected = [find_cycle_edges(edges) for edges in sets]
+        assert find_cycles_batch(sets) == expected
+        # The screen must find work in both directions to mean much.
+        assert any(cycle is not None for cycle in expected)
+        assert any(cycle is None for cycle in expected)
+
+    def test_degenerate_shapes(self):
+        sets = [
+            [],  # no edges at all
+            [(3, 3)],  # self-loop: a one-edge cycle
+            [(0, 1), (1, 2)],  # plain chain
+            [(0, 1), (1, 0), (5, 6), (6, 5)],  # two disjoint cycles
+            [(2, 1), (1, 2), (0, 1)],  # tail feeding a cycle
+            [(-4, -3), (-3, -4)],  # negative node ids
+        ]
+        expected = [find_cycle_edges(edges) for edges in sets]
+        assert find_cycles_batch(sets) == expected
+        assert expected[0] is None
+        assert expected[1] == [(3, 3)]
+        assert expected[2] is None
+
+    def test_empty_batch_and_all_empty_sets(self):
+        assert find_cycles_batch([]) == []
+        assert find_cycles_batch([[], [], []]) == [None, None, None]
+
+    def test_scalar_fallback_is_identical(self):
+        sets = random_edge_sets(42, 60)
+        assert find_cycles_batch(sets, use_numpy=False) == (
+            find_cycles_batch(sets)
+        )
+
+    def test_env_var_falls_back_bit_identically(self, monkeypatch):
+        sets = random_edge_sets(43, 60)
+        expected = find_cycles_batch(sets)
+        monkeypatch.setenv(NO_NUMPY_ENV, "1")
+        assert find_cycles_batch(sets) == expected
+
+    def test_explicit_request_raises_without_numpy(self, monkeypatch):
+        monkeypatch.setenv(NO_NUMPY_ENV, "1")
+        with pytest.raises(ConfigError, match="find_cycles_batch"):
+            find_cycles_batch([[(0, 1)]], use_numpy=True)
+
+    def test_cycle_tids_reduction(self):
+        sets = [
+            [(0, 1), (1, 2)],
+            [(7, 3), (3, 7), (1, 7)],
+            [(5, 5)],
+        ]
+        assert cycle_tids_batch(sets) == [None, (3, 7), (5,)]
+        assert cycle_tids_batch(sets, use_numpy=False) == (
+            cycle_tids_batch(sets)
+        )
+
+
+class TestSnapshotContract:
+    def test_snapshot_feeds_the_scalar_search_in_order(self):
+        graph = IncrementalWaitForGraph()
+        # Two resources holding a cycle plus a tail; the snapshot must
+        # replay through find_cycle_edges to the cached cycle exactly.
+        graph._edges_by_resource = {
+            "m1": ((1, 2),),
+            "m0": ((2, 1), (3, 1)),
+        }
+        graph._dirty = True
+        snapshot = graph.snapshot()
+        assert snapshot == ((1, 2), (2, 1), (3, 1))
+        assert find_cycle_edges(snapshot) == graph.find_cycle()
+        assert find_cycles_batch([snapshot]) == [graph.find_cycle()]
+
+
+@dataclass
+class _FakeResult:
+    """The duck-typed slice of TestRunResult audit_deadlocks reads."""
+
+    anomalies: list
+    wait_deltas: tuple = ()
+
+
+def _deadlock_anomaly(tids: tuple[int, ...]) -> Anomaly:
+    return Anomaly(
+        kind=AnomalyKind.DEADLOCK,
+        detected_at=100,
+        description="test deadlock",
+        tids=tids,
+    )
+
+
+class TestAuditDeadlocks:
+    def test_confirmed_when_a_snapshot_supports_the_report(self):
+        result = _FakeResult(
+            anomalies=[_deadlock_anomaly((1, 2))],
+            wait_deltas=(
+                (10, ((1, 2),)),
+                (20, ((1, 2), (2, 1))),
+            ),
+        )
+        audit = audit_deadlocks([result])
+        assert audit == DeadlockAudit(
+            runs=1, snapshots=2, confirmed=1
+        )
+        assert audit.consistent
+
+    def test_unsupported_report_is_an_inconsistency(self):
+        result = _FakeResult(
+            anomalies=[_deadlock_anomaly((5, 6))],
+            wait_deltas=((10, ((1, 2), (2, 1))),),
+        )
+        audit = audit_deadlocks([result])
+        assert audit.confirmed == 0
+        assert audit.unsupported == [(0, (5, 6))]
+        assert not audit.consistent
+
+    def test_cycle_without_report_is_informational(self):
+        # Legitimate under the confirmation debounce: the cycle showed
+        # up in a delta but never survived long enough to report.
+        result = _FakeResult(
+            anomalies=[],
+            wait_deltas=((10, ((1, 2), (2, 1))),),
+        )
+        audit = audit_deadlocks([result])
+        assert audit.cyclic_without_report == 1
+        assert audit.consistent
+
+    def test_runs_without_recording_are_counted_but_empty(self):
+        audit = audit_deadlocks([_FakeResult(anomalies=[])])
+        assert audit == DeadlockAudit(runs=1, snapshots=0)
+
+    def test_scalar_fallback_audit_is_identical(self):
+        results = [
+            _FakeResult(
+                anomalies=[_deadlock_anomaly((1, 2))],
+                wait_deltas=((10, ((1, 2), (2, 1))),),
+            ),
+            _FakeResult(
+                anomalies=[],
+                wait_deltas=((5, ((0, 1), (1, 2))),),
+            ),
+        ]
+        assert audit_deadlocks(results, use_numpy=False) == (
+            audit_deadlocks(results)
+        )
+
+
+class TestEndToEndRecording:
+    @pytest.fixture(scope="class")
+    def deadlocked_run(self):
+        test = philosophers_case2(seed=0, op="cyclic")
+        test.config = replace(test.config, record_wait_deltas=True)
+        return test.run()
+
+    def test_deltas_recorded_only_when_asked(self, deadlocked_run):
+        assert deadlocked_run.found_bug
+        assert deadlocked_run.wait_deltas
+        for tick, edges in deadlocked_run.wait_deltas:
+            assert isinstance(tick, int)
+            assert all(len(edge) == 2 for edge in edges)
+        # Off by default: the same scenario records nothing.
+        plain = philosophers_case2(seed=0, op="cyclic").run()
+        assert plain.found_bug
+        assert plain.wait_deltas == ()
+
+    def test_recording_does_not_perturb_the_run(self, deadlocked_run):
+        plain = philosophers_case2(seed=0, op="cyclic").run()
+        assert plain.ticks == deadlocked_run.ticks
+        assert plain.patterns == deadlocked_run.patterns
+        assert [a.kind for a in plain.anomalies] == [
+            a.kind for a in deadlocked_run.anomalies
+        ]
+
+    def test_audit_confirms_the_reported_deadlock(self, deadlocked_run):
+        audit = audit_deadlocks([deadlocked_run])
+        assert audit.runs == 1
+        assert audit.snapshots == len(deadlocked_run.wait_deltas)
+        assert audit.confirmed == 1
+        assert audit.consistent
+
+    def test_sweep_batch_replays_the_recorded_deltas(self, deadlocked_run):
+        snapshots = [edges for _tick, edges in deadlocked_run.wait_deltas]
+        tids = BugDetector.sweep_batch(snapshots)
+        assert tids == cycle_tids_batch(snapshots)
+        reported = {
+            anomaly.tids
+            for anomaly in deadlocked_run.anomalies
+            if anomaly.kind is AnomalyKind.DEADLOCK
+        }
+        found = {cycle for cycle in tids if cycle is not None}
+        assert reported <= found
+        if numpy_available():
+            assert BugDetector.sweep_batch(
+                snapshots, use_numpy=False
+            ) == tids
