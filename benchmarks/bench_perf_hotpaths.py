@@ -55,6 +55,7 @@ import os
 import platform
 import sys
 import time
+import tracemalloc
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -68,6 +69,8 @@ from repro.pcore.services import ServiceCode
 from repro.pcore.testkit import create_task, run_service
 from repro.ptest.campaign import Campaign
 from repro.ptest.executor import CellExecutor, WorkCell
+from repro.ptest.merger import PatternMerger
+from repro.ptest.patterns import TestPattern
 from repro.ptest.pcore_model import pcore_pfa
 from repro.ptest.pool import WorkerPool, shutdown_pools
 from repro.ptest.waitgraph import IncrementalWaitForGraph
@@ -193,6 +196,204 @@ def bench_sampling_batch(quick: bool) -> dict:
         # mirroring the skipped_parallel_floor convention.
         "skipped_numpy": skipped_numpy,
     }
+
+
+# -- layer 1c: array-plane sample→merge ----------------------------------------
+
+
+def bench_merge_batch(quick: bool) -> dict:
+    """Eager scalar sample→merge vs the end-to-end array plane.
+
+    The tentpole claim of the array-native pattern plane: a campaign
+    cell's whole sample→merge round trip — draw ``per_cell`` patterns,
+    wrap them as ``TestPattern``\\ s, interleave them with a seeded
+    :class:`PatternMerger` — without materialising per-symbol Python
+    objects.  The scalar leg is the pre-array pipeline (per-cell
+    ``PatternSampler`` walks, eager tuples, ``use_numpy=False``
+    merging into eager ``PatternCommand`` lists); the array leg draws
+    ``BatchSampler.sample_batch`` id arrays, wraps rows via
+    ``TestPattern.from_ids`` and merges through the vectorized gather,
+    with command materialisation deferred (and excluded from the timed
+    window — the committer pays it later, round-robin of the saving).
+    Both legs run through :meth:`PatternMerger.merge_batch`.
+
+    As in the other paired sections: one untimed warm-up pass per leg
+    per rep (fills draw-block buffers; continues both legs' RNG
+    streams identically), the reported speedup is the best *paired*
+    within-rep ratio, and bit-identity of warm-up and timed outputs —
+    commands, op, sources — is asserted outside the timed windows.
+    """
+    pfa = pcore_pfa()
+    size = 100
+    cells = 512 if quick else 1024
+    per_cell = 4
+    reps = 3 if quick else 5
+    op, chunk, merge_seed = "cyclic", 3, 1234
+    seeds = [(1 << 41) + 1313 * index for index in range(cells)]
+    skipped_numpy = numpy_or_none() is None
+
+    def scalar_pass(samplers, merger) -> list:
+        groups = []
+        for sampler in samplers:
+            group = []
+            for pattern_id in range(per_cell):
+                drawn = sampler.sample(size)
+                group.append(
+                    TestPattern(
+                        pattern_id=pattern_id,
+                        symbols=drawn.symbols,
+                        states=drawn.states,
+                        log_probability=drawn.log_probability,
+                    )
+                )
+            groups.append(group)
+        return merger.merge_batch(groups)
+
+    def array_pass(batch_sampler, merger) -> list:
+        draws = [batch_sampler.sample_batch(size) for _ in range(per_cell)]
+        groups = []
+        for cell in range(cells):
+            group = []
+            for pattern_id, batch in enumerate(draws):
+                row = batch.row(cell)
+                if row is None:
+                    # No-numpy fallback: materialised patterns.
+                    drawn = batch.pattern(cell)
+                    group.append(
+                        TestPattern(
+                            pattern_id=pattern_id,
+                            symbols=drawn.symbols,
+                            states=drawn.states,
+                            log_probability=drawn.log_probability,
+                        )
+                    )
+                else:
+                    group.append(
+                        TestPattern.from_ids(
+                            pattern_id=pattern_id,
+                            symbol_ids=row.symbol_ids,
+                            alphabet=row.alphabet,
+                            state_ids=row.state_ids,
+                            log_probability=row.log_probability,
+                        )
+                    )
+            groups.append(group)
+        return merger.merge_batch(groups)
+
+    best_ratio = 0.0
+    scalar_rate = array_rate = 0.0
+    for _ in range(reps):
+        samplers = [
+            PatternSampler(pfa, seed=seed, on_final="restart")
+            for seed in seeds
+        ]
+        scalar_merger = PatternMerger(
+            op=op, seed=merge_seed, chunk=chunk, use_numpy=False
+        )
+        scalar_warm = scalar_pass(samplers, scalar_merger)
+        start = time.perf_counter()
+        scalar_merged = scalar_pass(samplers, scalar_merger)
+        scalar_elapsed = time.perf_counter() - start
+
+        batch_sampler = BatchSampler(pfa, seeds, on_final="restart")
+        array_merger = PatternMerger(op=op, seed=merge_seed, chunk=chunk)
+        array_warm = array_pass(batch_sampler, array_merger)
+        start = time.perf_counter()
+        array_merged = array_pass(batch_sampler, array_merger)
+        array_elapsed = time.perf_counter() - start
+
+        # Correctness guard, outside the timed windows: both passes of
+        # every cell must interleave identically (command lists, op,
+        # source patterns — array-side materialisation happens here).
+        assert array_warm == scalar_warm, (
+            "array sample→merge diverged from the scalar plane (pass 1)"
+        )
+        assert array_merged == scalar_merged, (
+            "array sample→merge diverged from the scalar plane (pass 2)"
+        )
+        if scalar_elapsed / array_elapsed > best_ratio:
+            best_ratio = scalar_elapsed / array_elapsed
+            scalar_rate = cells / scalar_elapsed
+            array_rate = cells / array_elapsed
+    return {
+        "pattern_size": size,
+        "cells": cells,
+        "patterns_per_merge": per_cell,
+        "merge_op": op,
+        "scalar_merges_per_sec": round(scalar_rate, 1),
+        "array_merges_per_sec": round(array_rate, 1),
+        "speedup": round(best_ratio, 2),
+        # Without numpy both legs run the same scalar plane — the
+        # ratio is meaningless, so the CI floor skips (same convention
+        # as sampling_batch).
+        "skipped_numpy": skipped_numpy,
+    }
+
+
+def _traced_peak_kib(task) -> float:
+    """Peak tracemalloc allocation of ``task()``, in KiB."""
+    tracemalloc.start()
+    try:
+        task()
+    finally:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    return round(peak / 1024.0, 1)
+
+
+def _sampling_batch_memory_pass() -> None:
+    """One steady-state materialised batch draw (the sampling_batch
+    shape at reduced width): what a campaign round allocates per
+    lockstep draw, slotted patterns included."""
+    pfa = pcore_pfa()
+    seeds = [(1 << 40) + 977 * index for index in range(1024)]
+    sampler = BatchSampler(pfa, seeds, on_final="restart")
+    sampler.sample(100)  # warm-up fills the draw-block buffers
+    sampler.sample(100)
+
+
+def _merge_batch_memory_pass() -> None:
+    """One steady-state array sample→merge pass (the merge_batch shape
+    at reduced width), commands left unmaterialised — the allocation
+    profile of the end-to-end array plane."""
+    pfa = pcore_pfa()
+    cells = 256
+    seeds = [(1 << 41) + 1313 * index for index in range(cells)]
+    sampler = BatchSampler(pfa, seeds, on_final="restart")
+    merger = PatternMerger(op="cyclic", seed=1234, chunk=3)
+
+    def one_pass() -> None:
+        draws = [sampler.sample_batch(100) for _ in range(4)]
+        groups = []
+        for cell in range(cells):
+            group = []
+            for pattern_id, batch in enumerate(draws):
+                row = batch.row(cell)
+                if row is None:
+                    drawn = batch.pattern(cell)
+                    group.append(
+                        TestPattern(
+                            pattern_id=pattern_id,
+                            symbols=drawn.symbols,
+                            states=drawn.states,
+                            log_probability=drawn.log_probability,
+                        )
+                    )
+                else:
+                    group.append(
+                        TestPattern.from_ids(
+                            pattern_id=pattern_id,
+                            symbol_ids=row.symbol_ids,
+                            alphabet=row.alphabet,
+                            state_ids=row.state_ids,
+                            log_probability=row.log_probability,
+                        )
+                    )
+            groups.append(group)
+        merger.merge_batch(groups)
+
+    one_pass()  # warm-up
+    one_pass()
 
 
 # -- layer 2: campaigns --------------------------------------------------------
@@ -734,9 +935,20 @@ def main(argv: list[str] | None = None) -> int:
             # None = absent or disabled via REPRO_NO_NUMPY; the batch
             # sections fall back to scalar (and skip their floors) then.
             "numpy": getattr(numpy_or_none(), "__version__", None),
+            # Peak allocation (KiB) of one representative batch-path
+            # pass per array-plane section — the memory half of the
+            # slots/array-backing story; honest in no-numpy mode too
+            # (the passes then profile the scalar fallback).
+            "tracemalloc_peak_kib": {
+                "sampling_batch": _traced_peak_kib(
+                    _sampling_batch_memory_pass
+                ),
+                "merge_batch": _traced_peak_kib(_merge_batch_memory_pass),
+            },
         },
         "sampling": bench_sampling(args.quick),
         "sampling_batch": bench_sampling_batch(args.quick),
+        "merge_batch": bench_merge_batch(args.quick),
         "campaign": bench_campaign(args.quick, args.workers),
         "campaign_batched": bench_campaign_batched(args.quick, args.workers),
         "pool": bench_pool(args.quick, args.workers),
@@ -761,6 +973,14 @@ def main(argv: list[str] | None = None) -> int:
             None
             if results["sampling_batch"]["skipped_numpy"]
             else results["sampling_batch"]["speedup"] >= 2.0
+        ),
+        # The array plane's end-to-end claim: sample→merge without
+        # per-symbol Python objects must beat the eager pipeline.
+        "merge_batch_ci_floor": 1.5,
+        "merge_batch_floor_met": (
+            None
+            if results["merge_batch"]["skipped_numpy"]
+            else results["merge_batch"]["speedup"] >= 1.5
         ),
         "campaign_speedup_target": 2.0,
         "campaign_speedup_met": (
@@ -904,6 +1124,18 @@ def main(argv: list[str] | None = None) -> int:
         f"{sampling_batch['batch_patterns_per_sec']:>10.0f} patterns/s  "
         f"({sampling_batch['speedup']}x at cells="
         f"{sampling_batch['cells']}){numpy_note}"
+    )
+    merge_batch = results["merge_batch"]
+    numpy_note = (
+        "  [floor skipped: no numpy]"
+        if merge_batch["skipped_numpy"]
+        else ""
+    )
+    print(
+        f"batch-mrg: {merge_batch['scalar_merges_per_sec']:>10.0f} -> "
+        f"{merge_batch['array_merges_per_sec']:>10.0f} merges/s    "
+        f"({merge_batch['speedup']}x at cells={merge_batch['cells']})"
+        f"{numpy_note}"
     )
     numpy_note = (
         "  [floor skipped: no numpy]"

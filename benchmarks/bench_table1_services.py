@@ -46,14 +46,20 @@ def _verify_ts() -> str:
     tid = _svc(kernel, ServiceCode.TC, priority=1).value
     assert _svc(kernel, ServiceCode.TS, target=tid).ok
     assert kernel.tasks[tid].state is TaskState.SUSPENDED
-    assert _svc(kernel, ServiceCode.TS, target=tid).status is ServiceStatus.ILLEGAL_STATE
+    assert (
+        _svc(kernel, ServiceCode.TS, target=tid).status
+        is ServiceStatus.ILLEGAL_STATE
+    )
     return "READY/RUNNING/BLOCKED -> SUSPENDED; double-suspend illegal"
 
 
 def _verify_tr() -> str:
     kernel = _fresh()
     tid = _svc(kernel, ServiceCode.TC, priority=1).value
-    assert _svc(kernel, ServiceCode.TR, target=tid).status is ServiceStatus.ILLEGAL_STATE
+    assert (
+        _svc(kernel, ServiceCode.TR, target=tid).status
+        is ServiceStatus.ILLEGAL_STATE
+    )
     _svc(kernel, ServiceCode.TS, target=tid)
     assert _svc(kernel, ServiceCode.TR, target=tid).ok
     return "only SUSPENDED -> READY (paper's precondition enforced)"

@@ -32,7 +32,9 @@ def format_table(headers: list[str], rows: list[tuple]) -> str:
     """Plain-text table with right-padded columns."""
     cells = [[str(value) for value in row] for row in rows]
     widths = [
-        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        max(len(headers[i]), *(len(row[i]) for row in cells))
+        if cells
+        else len(headers[i])
         for i in range(len(headers))
     ]
     lines = [
@@ -40,5 +42,9 @@ def format_table(headers: list[str], rows: list[tuple]) -> str:
         "-+-".join("-" * width for width in widths),
     ]
     for row in cells:
-        lines.append(" | ".join(value.ljust(width) for value, width in zip(row, widths)))
+        lines.append(
+            " | ".join(
+                value.ljust(width) for value, width in zip(row, widths)
+            )
+        )
     return "\n".join(lines)

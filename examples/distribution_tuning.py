@@ -47,7 +47,10 @@ def main() -> None:
         ),
     }
     print("part 1: distribution variants")
-    header = f"{'distribution':>16} | {'E[len]':>7} | {'entropy':>7} | {'dup%':>6} | {'cov%':>5}"
+    header = (
+        f"{'distribution':>16} | {'E[len]':>7} | {'entropy':>7} "
+        f"| {'dup%':>6} | {'cov%':>5}"
+    )
     print(header)
     print("-" * len(header))
     for name, pfa in variants.items():

@@ -49,6 +49,23 @@ Output is therefore **bit-identical** to ``len(seeds)`` independent
 numpy fast path or the scalar fallback ran.  The fallback (numpy
 absent, or the ``REPRO_NO_NUMPY`` environment variable set) simply
 holds the scalar samplers; the library core stays stdlib-only.
+
+The array-native pattern plane
+------------------------------
+
+:meth:`BatchSampler.sample_batch` is the array-shaped entry point: it
+returns a :class:`PatternBatch` holding the whole draw as flat ragged
+arrays — per-cell symbol *ids* (the alphabet interned once per
+:class:`~repro.automata.compiled.CompiledPFA` via
+``interned_alphabet()``, cached like the packed rows), state paths,
+log-probabilities and restart counts — instead of N materialised
+:class:`~repro.automata.sampling.SampledPattern` objects.  Downstream
+array consumers (``repro.ptest.patterns.TestPattern.from_ids``, the
+vectorized merger) keep working on those ids end to end; anything that
+wants objects calls :meth:`PatternBatch.patterns` /
+:meth:`PatternBatch.pattern`, which materialise lazily and
+bit-identically to what :meth:`BatchSampler.sample` always returned
+(``sample`` itself is now just ``sample_batch(size).patterns()``).
 """
 
 from __future__ import annotations
@@ -56,7 +73,7 @@ from __future__ import annotations
 import os
 import random
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, NamedTuple, Sequence
 
 from repro.automata.compiled import CompiledPFA
 from repro.automata.pfa import PFA
@@ -203,6 +220,11 @@ class PackedPFA:
     log_probs: Any  # float64[num_states, max_arcs]
     symbol_ids: Any  # int64[num_states, max_arcs]
     symbol_table: Any  # object[num_symbols] of str
+    #: The same table as a plain tuple — ``CompiledPFA.interned_alphabet()``
+    #: order, shared (by identity) with every PatternBatch row so the
+    #: array-backed pattern types downstream can compare alphabets with
+    #: an ``is`` check.
+    alphabet: tuple[str, ...]
     #: Derived lookups for the hot loop: per-state absorbing/multi-arc
     #: masks (one ``take`` instead of gather-plus-compare per step) ...
     is_absorbing: Any  # bool[num_states]
@@ -212,10 +234,6 @@ class PackedPFA:
     flat_targets: Any  # int64[num_states * max_arcs]
     flat_log_probs: Any  # float64[num_states * max_arcs]
     flat_symbol_ids: Any  # int64[num_states * max_arcs]
-    #: ... the symbol *objects* in flat arc space, so materialisation
-    #: gathers strings straight from recorded arc indices (one object
-    #: ``take`` instead of an id ``take`` feeding a table ``take``) ...
-    flat_arc_symbols: Any  # object[num_states * max_arcs]
     #: ... the restart-mode state fusion: ``q`` for live states,
     #: ``start`` for absorbing ones, so the restart walk replaces its
     #: per-step absorbing branch with one ``take`` ...
@@ -262,8 +280,10 @@ def packed_rows(compiled: CompiledPFA) -> PackedPFA:
     targets = np.zeros((num_states, max_arcs), dtype=np.int64)
     log_probs = np.zeros((num_states, max_arcs), dtype=np.float64)
     symbol_ids = np.zeros((num_states, max_arcs), dtype=np.int64)
-    table: list[str] = []
-    table_index: dict[str, int] = {}
+    # One interning shared with the whole array plane: ids here agree
+    # with every PatternBatch row and array-backed TestPattern built
+    # over this automaton.
+    alphabet, table_index = compiled.interned_alphabet()
     for state in range(num_states):
         row_symbols = compiled.symbols[state]
         count = len(row_symbols)
@@ -273,18 +293,13 @@ def packed_rows(compiled: CompiledPFA) -> PackedPFA:
         targets[state, :count] = compiled.targets[state]
         log_probs[state, :count] = compiled.log_probs[state]
         for arc, symbol in enumerate(row_symbols):
-            interned = table_index.get(symbol)
-            if interned is None:
-                interned = len(table)
-                table_index[symbol] = interned
-                table.append(symbol)
-            symbol_ids[state, arc] = interned
+            symbol_ids[state, arc] = table_index[symbol]
     selection = cumulative.copy()
     for state in range(num_states):
         count = int(arc_count[state])
         if count:
             selection[state, count - 1] = np.inf
-    symbol_table = np.array(table or [""], dtype=object)
+    symbol_table = np.array(alphabet or ("",), dtype=object)
     flat_symbol_ids = np.ascontiguousarray(symbol_ids.reshape(-1))
     packed = PackedPFA(
         num_states=num_states,
@@ -296,12 +311,12 @@ def packed_rows(compiled: CompiledPFA) -> PackedPFA:
         log_probs=log_probs,
         symbol_ids=symbol_ids,
         symbol_table=symbol_table,
+        alphabet=alphabet,
         is_absorbing=arc_count == 0,
         is_multi=arc_count > 1,
         flat_targets=np.ascontiguousarray(targets.reshape(-1)),
         flat_log_probs=np.ascontiguousarray(log_probs.reshape(-1)),
         flat_symbol_ids=flat_symbol_ids,
-        flat_arc_symbols=symbol_table.take(flat_symbol_ids),
         restart_redirect=(
             redirect := np.where(
                 arc_count == 0,
@@ -318,6 +333,191 @@ def packed_rows(compiled: CompiledPFA) -> PackedPFA:
     )
     object.__setattr__(compiled, "_packed_rows", packed)
     return packed
+
+
+# SampledPattern is slotted, so bulk materialisation can bypass the
+# frozen __init__ (which pays one object.__setattr__ per field) by
+# writing through the slot descriptors directly; the resulting objects
+# compare equal to normally-built ones.
+_NEW_PATTERN = SampledPattern.__new__
+_SET_SYMBOLS = SampledPattern.symbols.__set__
+_SET_STATES = SampledPattern.states.__set__
+_SET_LOG_PROBABILITY = SampledPattern.log_probability.__set__
+_SET_RESTARTS = SampledPattern.restarts.__set__
+
+
+class PatternRow(NamedTuple):
+    """One cell's slice of a :class:`PatternBatch`, still as arrays.
+
+    ``symbol_ids`` indexes ``alphabet`` (the compiled automaton's
+    interned symbol table); ``state_ids`` is the walk's state path
+    including restart re-entries.  Both are views into the batch's
+    flat arrays — zero-copy, valid as long as the batch is referenced.
+    """
+
+    symbol_ids: Any  # int64[length] view
+    state_ids: Any  # int64[path_length] view
+    log_probability: float
+    restarts: int
+    alphabet: tuple[str, ...]
+
+
+class PatternBatch:
+    """One lockstep draw held as arrays: the array-native form of a
+    ``list[SampledPattern]``.
+
+    Array mode (the vectorized sampler's output) keeps the whole draw
+    as flat ragged arrays — symbol ids + per-cell begin/end offsets,
+    state paths likewise, per-cell log-probabilities and restart
+    counts — so downstream array consumers (the vectorized merger, the
+    array-backed ``TestPattern``) never materialise per-symbol Python
+    objects.  :meth:`patterns`/:meth:`pattern` materialise
+    :class:`~repro.automata.sampling.SampledPattern` views lazily and
+    bit-identically to the scalar sampler's output; :meth:`row` hands
+    out the zero-copy array slice for one cell.
+
+    Scalar mode (:meth:`from_patterns`, the no-numpy fallback) wraps
+    already-materialised patterns; :meth:`row` then returns ``None``
+    and callers fall back to :meth:`pattern`.
+    """
+
+    __slots__ = (
+        "alphabet",
+        "_table",
+        "_ids",
+        "_id_begins",
+        "_id_ends",
+        "_states",
+        "_state_begins",
+        "_state_ends",
+        "_log_probs",
+        "_restarts",
+        "_patterns",
+    )
+
+    def __init__(
+        self,
+        *,
+        alphabet: tuple[str, ...],
+        table: Any,
+        ids: Any,
+        id_begins: Any,
+        id_ends: Any,
+        states: Any,
+        state_begins: Any,
+        state_ends: Any,
+        log_probs: Any,
+        restarts: Any,
+    ) -> None:
+        self.alphabet = alphabet
+        self._table = table
+        self._ids = ids
+        self._id_begins = id_begins
+        self._id_ends = id_ends
+        self._states = states
+        self._state_begins = state_begins
+        self._state_ends = state_ends
+        self._log_probs = log_probs
+        self._restarts = restarts
+        self._patterns: list[SampledPattern] | None = None
+
+    @classmethod
+    def from_patterns(
+        cls,
+        patterns: list[SampledPattern],
+        alphabet: tuple[str, ...] = (),
+    ) -> "PatternBatch":
+        """Wrap eagerly-materialised patterns (the scalar fallback)."""
+        batch = cls.__new__(cls)
+        batch.alphabet = alphabet
+        batch._table = None
+        batch._ids = None
+        batch._id_begins = None
+        batch._id_ends = None
+        batch._states = None
+        batch._state_begins = None
+        batch._state_ends = None
+        batch._log_probs = None
+        batch._restarts = None
+        batch._patterns = patterns
+        return batch
+
+    def __len__(self) -> int:
+        if self._patterns is not None:
+            return len(self._patterns)
+        return len(self._id_begins)
+
+    @property
+    def is_array(self) -> bool:
+        """Whether per-cell id arrays exist (:meth:`row` works)."""
+        return self._ids is not None
+
+    def row(self, cell: int) -> PatternRow | None:
+        """Cell ``cell``'s draw as zero-copy array views, or ``None``
+        in scalar mode (callers then take :meth:`pattern` instead)."""
+        if self._ids is None:
+            return None
+        return PatternRow(
+            symbol_ids=self._ids[self._id_begins[cell]:self._id_ends[cell]],
+            state_ids=self._states[
+                self._state_begins[cell]:self._state_ends[cell]
+            ],
+            log_probability=float(self._log_probs[cell]),
+            restarts=int(self._restarts[cell]),
+            alphabet=self.alphabet,
+        )
+
+    def pattern(self, cell: int) -> SampledPattern:
+        """Cell ``cell``'s draw as a materialised pattern, equal to the
+        scalar sampler's output for that cell."""
+        cached = self._patterns
+        if cached is not None:
+            return cached[cell]
+        begin = self._id_begins[cell]
+        end = self._id_ends[cell]
+        pattern = _NEW_PATTERN(SampledPattern)
+        _SET_SYMBOLS(pattern, tuple(self._table.take(self._ids[begin:end]).tolist()))
+        _SET_STATES(
+            pattern,
+            tuple(
+                self._states[
+                    self._state_begins[cell]:self._state_ends[cell]
+                ].tolist()
+            ),
+        )
+        _SET_LOG_PROBABILITY(pattern, float(self._log_probs[cell]))
+        _SET_RESTARTS(pattern, int(self._restarts[cell]))
+        return pattern
+
+    def patterns(self) -> list[SampledPattern]:
+        """All cells materialised (cached after the first call).
+
+        Bulk conversion: symbols gather as one object ``take`` + flat
+        ``tolist`` + big tuple, sliced per cell (tuple slicing is a
+        pointer copy), state paths likewise — the exact recipe (and
+        exact output) of the pre-array-plane sampler tails.
+        """
+        cached = self._patterns
+        if cached is not None:
+            return cached
+        sym_all = tuple(self._table.take(self._ids).tolist())
+        path_all = tuple(self._states.tolist())
+        new = _NEW_PATTERN
+        result: list[SampledPattern] = []
+        append = result.append
+        for sym_begin, sym_end, path_begin, path_end, lp, rs in zip(
+            self._id_begins.tolist(), self._id_ends.tolist(),
+            self._state_begins.tolist(), self._state_ends.tolist(),
+            self._log_probs.tolist(), self._restarts.tolist(),
+        ):
+            pattern = new(SampledPattern)
+            _SET_SYMBOLS(pattern, sym_all[sym_begin:sym_end])
+            _SET_STATES(pattern, path_all[path_begin:path_end])
+            _SET_LOG_PROBABILITY(pattern, lp)
+            _SET_RESTARTS(pattern, rs)
+            append(pattern)
+        self._patterns = result
+        return result
 
 
 @dataclass
@@ -431,10 +631,24 @@ class BatchSampler:
         Consecutive calls continue each cell's RNG stream, exactly as
         consecutive ``PatternSampler.sample`` calls would.
         """
+        return self.sample_batch(size).patterns()
+
+    def sample_batch(self, size: int) -> PatternBatch:
+        """One lockstep draw per cell, kept as arrays.
+
+        The array-native twin of :meth:`sample`: same walk, same RNG
+        consumption, but the result stays a :class:`PatternBatch` of
+        flat id/state arrays until something asks for objects.
+        Consecutive calls continue each cell's RNG stream exactly as
+        :meth:`sample` would — the two entry points are freely
+        interleavable.
+        """
         if size < 1:
             raise SamplingError(f"pattern size must be >= 1, got {size}")
         if not self.used_numpy:
-            return [sampler.sample(size) for sampler in self._scalar]
+            return PatternBatch.from_patterns(
+                [sampler.sample(size) for sampler in self._scalar]
+            )
         return self._sample_vectorized(size)
 
     def sample_many(
@@ -466,15 +680,15 @@ class BatchSampler:
         self._draw_pos[cell] = 0
 
 
-    def _sample_vectorized(self, size: int) -> list[SampledPattern]:
+    def _sample_vectorized(self, size: int) -> PatternBatch:
         if self.on_final == "restart":
             return self._sample_restart(size)
         return self._sample_stop(size)
 
-    def _sample_restart(self, size: int) -> list[SampledPattern]:
+    def _sample_restart(self, size: int) -> PatternBatch:
         """Restart-mode walk: the front never shrinks, so restarts fuse
         into a per-state redirect table and the loop records only each
-        step's flat arc index; symbols, targets, restart counts, and
+        step's flat arc index; symbol ids, targets, restart counts, and
         state paths are all reconstructed from that record in a few
         whole-matrix ops afterwards.  Log-probabilities still
         accumulate inside the loop — a post-loop ``.sum()`` would use
@@ -493,7 +707,7 @@ class BatchSampler:
         packed = self._packed
         total = self.cells
         if not total:
-            return []
+            return PatternBatch.from_patterns([], alphabet=packed.alphabet)
         start = packed.start
         max_arcs = packed.max_arcs
         select_columns = packed.select_columns
@@ -569,34 +783,26 @@ class BatchSampler:
         np.put(out_path, flat_positions, targets_m)
         np.put(out_path, flat_positions[:, :-1][absorbed] + 1, start)
 
-        # Symbol rows materialise as one nested tolist + a C-level
-        # map(tuple, ...); the ragged paths as one bulk tolist + big
-        # tuple, sliced per cell (tuple slicing is a pointer copy).
-        sym_rows = map(
-            tuple, packed.flat_arc_symbols.take(flat_cells).tolist()
+        # Every restart-mode cell emits exactly `size` symbols, so the
+        # id rows are the dense (total, size) matrix flattened with
+        # stride-`size` offsets; materialisation (when anything wants
+        # objects) happens inside the PatternBatch.
+        sym_ids = packed.flat_symbol_ids.take(flat_cells).reshape(-1)
+        sym_begins = np.arange(total, dtype=np.int64) * size
+        return PatternBatch(
+            alphabet=packed.alphabet,
+            table=packed.symbol_table,
+            ids=sym_ids,
+            id_begins=sym_begins,
+            id_ends=sym_begins + size,
+            states=out_path,
+            state_begins=offsets,
+            state_ends=ends,
+            log_probs=logp,
+            restarts=restarts,
         )
-        path_all = tuple(out_path.tolist())
-        # Hot-path construction: bypass the frozen dataclass __init__
-        # (which pays object.__setattr__ per field) by filling the
-        # instance dict directly; the resulting objects compare equal
-        # to normally-built ones.
-        new = SampledPattern.__new__
-        patterns: list[SampledPattern] = []
-        append = patterns.append
-        for sym_row, begin, end, lp, rs in zip(
-            sym_rows, offsets.tolist(), ends.tolist(),
-            logp.tolist(), restarts.tolist(),
-        ):
-            pattern = new(SampledPattern)
-            fields = pattern.__dict__
-            fields["symbols"] = sym_row
-            fields["states"] = path_all[begin:end]
-            fields["log_probability"] = lp
-            fields["restarts"] = rs
-            append(pattern)
-        return patterns
 
-    def _sample_stop(self, size: int) -> list[SampledPattern]:
+    def _sample_stop(self, size: int) -> PatternBatch:
         """Stop-mode walk: cells that reach an absorbing state finish
         and drop out, so the loop keeps a compact front of still-walking
         cells with per-cell scatter bases into the output buffers."""
@@ -604,7 +810,7 @@ class BatchSampler:
         packed = self._packed
         total = self.cells
         if not total:
-            return []
+            return PatternBatch.from_patterns([], alphabet=packed.alphabet)
         start = packed.start
         max_arcs = packed.max_arcs
         select_columns = packed.select_columns
@@ -706,23 +912,17 @@ class BatchSampler:
         path_states, path_begins, path_ends = compact(
             out_path, all_path_base, path_lengths
         )
-        sym_all = tuple(packed.flat_arc_symbols.take(arc_ids).tolist())
-        path_all = tuple(path_states.tolist())
-        # Bulk conversions + per-cell tuple slices and direct instance
-        # dict fills, as in the restart walk.  Stop mode never restarts.
-        new = SampledPattern.__new__
-        patterns: list[SampledPattern] = []
-        append = patterns.append
-        for sym_begin, sym_end, path_begin, path_end, lp in zip(
-            sym_begins.tolist(), sym_ends.tolist(),
-            path_begins.tolist(), path_ends.tolist(),
-            final_logp.tolist(),
-        ):
-            pattern = new(SampledPattern)
-            fields = pattern.__dict__
-            fields["symbols"] = sym_all[sym_begin:sym_end]
-            fields["states"] = path_all[path_begin:path_end]
-            fields["log_probability"] = lp
-            fields["restarts"] = 0
-            append(pattern)
-        return patterns
+        # Arc indices become alphabet ids with one flat take; stop mode
+        # never restarts.  Materialisation lives in the PatternBatch.
+        return PatternBatch(
+            alphabet=packed.alphabet,
+            table=packed.symbol_table,
+            ids=packed.flat_symbol_ids.take(arc_ids),
+            id_begins=sym_begins,
+            id_ends=sym_ends,
+            states=path_states,
+            state_begins=path_begins,
+            state_ends=path_ends,
+            log_probs=final_logp,
+            restarts=np.zeros(total, dtype=np.int64),
+        )

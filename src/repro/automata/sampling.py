@@ -40,7 +40,7 @@ from repro.errors import SamplingError
 OnFinal = Literal["stop", "restart"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SampledPattern:
     """A sampled walk: the emitted symbols and the visited state path.
 
@@ -48,6 +48,12 @@ class SampledPattern:
     insert the initial state again, so ``len(states) >= len(symbols) + 1``.
     ``log_probability`` is the natural-log probability of the walk
     (sum over chosen transitions), comparable across equal-length walks.
+
+    Slotted: campaigns materialise one of these per pattern per round,
+    so dropping the per-instance ``__dict__`` is a real memory win (the
+    bench's ``tracemalloc`` figures track it).  The batch sampler's
+    fast construction path writes through the slot descriptors (see
+    ``repro.automata.batch.PatternBatch``).
     """
 
     symbols: tuple[str, ...]

@@ -19,7 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import BridgeError
-from repro.pcore.services import ServiceCode, ServiceRequest, ServiceResult, ServiceStatus
+from repro.pcore.services import (
+    ServiceCode,
+    ServiceRequest,
+    ServiceResult,
+    ServiceStatus,
+)
 
 _OPCODES: dict[ServiceCode, int] = {
     ServiceCode.TC: 1,

@@ -79,7 +79,10 @@ class MasterSystem:
         # Threads whose reply arrived in an earlier pump (before they
         # started waiting) unblock here too.
         for thread in self.scheduler.threads:
-            if thread.state is ThreadState.WAITING and thread.outstanding_seq is not None:
+            if (
+                thread.state is ThreadState.WAITING
+                and thread.outstanding_seq is not None
+            ):
                 result = self.bridge.reply_for(thread.outstanding_seq)
                 if result is not None:
                     thread.replies.append(result)

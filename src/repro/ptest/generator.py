@@ -23,7 +23,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
-from repro.automata.batch import BatchSampler
+from repro.automata.batch import BatchSampler, PatternBatch
 from repro.automata.compiled import CompiledPFA
 from repro.automata.dfa import DFA, minimize_dfa, nfa_to_dfa
 from repro.automata.distributions import TransitionDistribution
@@ -173,6 +173,14 @@ class SharedPatternBatch:
     ``size`` is fixed per batch (it is fixed per scenario config);
     :meth:`next_pattern` rejects a mismatching request rather than
     silently desynchronising the lockstep draws.
+
+    Queues hold whole :class:`~repro.automata.batch.PatternBatch`
+    objects (one per lockstep round), not materialised patterns:
+    :meth:`next_batch` hands a cell its round's batch so the stream
+    can build an array-backed ``TestPattern`` straight from the cell's
+    id row — the sample→merge path stays on arrays end to end.
+    :meth:`next_pattern` keeps the materialised-object surface for
+    callers that want one.
     """
 
     pfa: PFA | CompiledPFA
@@ -208,10 +216,13 @@ class SharedPatternBatch:
             self._advance()
 
     def _advance(self) -> None:
-        for queue, pattern in zip(self._queues, self.sampler.sample(self.size)):
-            queue.append(pattern)
+        batch = self.sampler.sample_batch(self.size)
+        for queue in self._queues:
+            queue.append(batch)
 
-    def next_pattern(self, cell: int, size: int) -> SampledPattern:
+    def next_batch(self, cell: int, size: int) -> PatternBatch:
+        """Cell ``cell``'s next round, as the round's whole
+        :class:`PatternBatch` (the cell reads only its own row)."""
         if size != self.size:
             raise ConfigError(
                 f"shared pattern batch was built for size {self.size}, "
@@ -221,6 +232,9 @@ class SharedPatternBatch:
         if not queue:
             self._advance()
         return queue.popleft()
+
+    def next_pattern(self, cell: int, size: int) -> SampledPattern:
+        return self.next_batch(cell, size).pattern(cell)
 
     def stream(self, cell: int) -> "BatchPatternStream":
         """Cell ``cell``'s generator-shaped view of this batch."""
@@ -266,13 +280,27 @@ class BatchPatternStream:
     def generate(self, size: int, pattern_id: int = 0) -> TestPattern:
         if size < 1:
             raise ConfigError(f"pattern size must be >= 1, got {size}")
-        sampled = self.shared.next_pattern(self.cell, size)
+        batch = self.shared.next_batch(self.cell, size)
         self.generated += 1
-        return TestPattern(
+        row = batch.row(self.cell)
+        if row is None:
+            # Scalar fallback: the batch holds materialised patterns.
+            sampled = batch.pattern(self.cell)
+            return TestPattern(
+                pattern_id=pattern_id,
+                symbols=sampled.symbols,
+                states=sampled.states,
+                log_probability=sampled.log_probability,
+            )
+        # Array plane: the TestPattern wraps the cell's id row directly
+        # (zero-copy views into the batch) and materialises its tuple
+        # surface only if something reads it — the merger won't.
+        return TestPattern.from_ids(
             pattern_id=pattern_id,
-            symbols=sampled.symbols,
-            states=sampled.states,
-            log_probability=sampled.log_probability,
+            symbol_ids=row.symbol_ids,
+            alphabet=row.alphabet,
+            state_ids=row.state_ids,
+            log_probability=row.log_probability,
         )
 
     def generate_batch(self, count: int, size: int) -> list[TestPattern]:

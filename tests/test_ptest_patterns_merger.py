@@ -157,8 +157,12 @@ class TestMergedPatternValidation:
     def test_validate_catches_reordering(self):
         pattern = TestPattern(pattern_id=0, symbols=("A1", "A2"))
         commands = [
-            PatternCommand(symbol="A2", pattern_id=0, sequence_in_pattern=2, position=0),
-            PatternCommand(symbol="A1", pattern_id=0, sequence_in_pattern=1, position=1),
+            PatternCommand(
+                symbol="A2", pattern_id=0, sequence_in_pattern=2, position=0
+            ),
+            PatternCommand(
+                symbol="A1", pattern_id=0, sequence_in_pattern=1, position=1
+            ),
         ]
         merged = MergedPattern(commands=commands, op="bogus", sources=[pattern])
         with pytest.raises(ConfigError):
@@ -167,7 +171,9 @@ class TestMergedPatternValidation:
     def test_validate_catches_missing_symbols(self):
         pattern = TestPattern(pattern_id=0, symbols=("A1", "A2"))
         commands = [
-            PatternCommand(symbol="A1", pattern_id=0, sequence_in_pattern=1, position=0),
+            PatternCommand(
+                symbol="A1", pattern_id=0, sequence_in_pattern=1, position=0
+            ),
         ]
         merged = MergedPattern(commands=commands, op="bogus", sources=[pattern])
         with pytest.raises(ConfigError):
