@@ -68,6 +68,7 @@ from repro.pcore.programs import Acquire, Compute, Exit
 from repro.pcore.services import ServiceCode
 from repro.pcore.testkit import create_task, run_service
 from repro.ptest.campaign import Campaign
+from repro.ptest.chaos import ChaosSpec
 from repro.ptest.executor import CellExecutor, WorkCell
 from repro.ptest.merger import PatternMerger
 from repro.ptest.patterns import TestPattern
@@ -481,6 +482,69 @@ def bench_campaign_batched(quick: bool, workers: int) -> dict:
         "per_cell_cells_per_sec": round(per_cell_rate, 2),
         "batched_cells_per_sec": round(batched_rate, 2),
         "speedup": round(batched_rate / per_cell_rate, 2),
+    }
+
+
+# -- layer 2d: fault-recovery overhead -----------------------------------------
+
+
+def bench_faults(quick: bool, workers: int) -> dict:
+    """Campaign throughput under injected worker kills vs clean.
+
+    The same philosophers campaign runs twice: once clean, once under
+    ``ChaosSpec(kill_rate=0.10)`` with the watchdog and quarantine
+    armed.  Injected kills are transient (resubmission re-draws the
+    fate), so the chaos leg must deliver *bit-identical rows* — the
+    asserted correctness guard — and the wall-clock ratio is the pure
+    price of detection + respawn + resubmission.  An untimed clean
+    pass first warms the pool so neither leg pays cold spawn.
+    """
+    seeds = range(6) if quick else range(24)
+    cells = 3 * len(seeds)
+
+    def run_once(chaos: "ChaosSpec | None") -> tuple[float, list]:
+        campaign = Campaign(
+            seeds=tuple(seeds),
+            workers=workers,
+            chaos=chaos,
+            cell_timeout=60.0 if chaos else None,
+            quarantine=chaos is not None,
+        )
+        campaign.add_scenario("cyclic", "philosophers", op="cyclic")
+        campaign.add_scenario("round_robin", "philosophers", op="round_robin")
+        campaign.add_scenario("ordered", "philosophers", ordered=True)
+        start = time.perf_counter()
+        rows = campaign.run()
+        elapsed = time.perf_counter() - start
+        if chaos is not None:
+            report = campaign.last_quarantine
+            assert report is not None and report.quarantined == 0, (
+                "transient-only chaos must never quarantine"
+            )
+        return elapsed, rows
+
+    run_once(None)  # warm-up: pool spawn out of both timed legs
+    clean_time, clean_rows = run_once(None)
+    chaos_time, chaos_rows = run_once(ChaosSpec(seed=2, kill_rate=0.10))
+    signature = [
+        (r.variant, r.runs, r.detections, r.kinds) for r in clean_rows
+    ]
+    bit_identical = signature == [
+        (r.variant, r.runs, r.detections, r.kinds) for r in chaos_rows
+    ]
+    assert bit_identical, "chaos recovery changed campaign results"
+    return {
+        "cells": cells,
+        "workers": workers,
+        "kill_rate": 0.10,
+        "clean_cells_per_sec": round(cells / clean_time, 2),
+        "chaos_cells_per_sec": round(cells / chaos_time, 2),
+        "overhead": round(chaos_time / clean_time, 2),
+        "bit_identical": bit_identical,
+        # Respawns serialise against the work on one core, so the
+        # overhead ratio there measures scheduling contention, not
+        # recovery cost — the floor skips, the numbers stay.
+        "skipped_parallel_floor": os.cpu_count() == 1,
     }
 
 
@@ -951,6 +1015,7 @@ def main(argv: list[str] | None = None) -> int:
         "merge_batch": bench_merge_batch(args.quick),
         "campaign": bench_campaign(args.quick, args.workers),
         "campaign_batched": bench_campaign_batched(args.quick, args.workers),
+        "faults": bench_faults(args.quick, args.workers),
         "pool": bench_pool(args.quick, args.workers),
         "adaptive": bench_adaptive(args.quick, args.workers),
         "pipeline": bench_pipeline(args.quick, args.workers),
@@ -995,6 +1060,16 @@ def main(argv: list[str] | None = None) -> int:
         "campaign_batched_floor_met": (
             results["campaign_batched"]["speedup"] >= 1.0
         ),
+        # Recovery from 10% injected worker kills may cost at most 1.5x
+        # clean throughput; bit-identity of the recovered rows is exact
+        # on any hardware and gates everywhere.
+        "faults_recovery_ci_floor": 1.5,
+        "faults_recovery_floor_met": (
+            None
+            if single_core
+            else results["faults"]["overhead"] <= 1.5
+        ),
+        "faults_bit_identical_met": results["faults"]["bit_identical"],
         # Warm-pool reuse removes pool startup + re-resolution from the
         # dispatch path; on multi-core the second run of a sequence
         # must be clearly faster than a cold-pool run.
@@ -1074,6 +1149,18 @@ def main(argv: list[str] | None = None) -> int:
         f"batching:  {batched['per_cell_cells_per_sec']:>10.2f} -> "
         f"{batched['batched_cells_per_sec']:>10.2f} cells/s     "
         f"({batched['speedup']}x at batch_size={batched['batch_size']})"
+    )
+    faults = results["faults"]
+    faults_note = (
+        "  [floor skipped: 1 core]"
+        if faults["skipped_parallel_floor"]
+        else ""
+    )
+    print(
+        f"faults:    {faults['clean_cells_per_sec']:>10.2f} -> "
+        f"{faults['chaos_cells_per_sec']:>10.2f} cells/s     "
+        f"({faults['overhead']}x overhead at kill_rate="
+        f"{faults['kill_rate']}, rows bit-identical){faults_note}"
     )
     pool_note = (
         "  [floor skipped: 1 core]"

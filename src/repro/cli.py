@@ -14,6 +14,11 @@ Python:
                    halving, replay, repeat) steers each next round's
                    variants from the previous round's detections
 ``scenarios``      list the scenario registry with parameter specs
+
+Exit codes: 0 success, 1 a bug was found (``run`` and friends), 2
+configuration error, 3 execution-fabric failure (a campaign's worker
+pool died or hung unrecoverably — see ``--cell-timeout`` /
+``--quarantine``).
 ``bench``          run the perf hot-path benchmark suite and print the
                    JSON artifact path plus headline speedups
 ``stress``         test case 1 (GC crash, with --fixed-gc control)
@@ -27,8 +32,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+from concurrent.futures import CancelledError
+from concurrent.futures.process import BrokenProcessPool
 
-from repro.errors import ConfigError, ReproError
+from repro.errors import ConfigError, ReproError, WatchdogTimeout
 from repro.faults import FAULT_CATALOGUE, build_fault_scenario, fault_names
 from repro.ptest.config import PTestConfig
 from repro.ptest.harness import run_adaptive_test
@@ -107,6 +114,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return _print_result(run_adaptive_test(config))
 
 
+def _executor_failure(error: BaseException, quarantine_flag: bool) -> int:
+    """One-line diagnosis (never a traceback) for a dead or hung
+    execution fabric: exit 3, distinct from "bug found" (1) and config
+    errors (2) so scripts can retry or escalate appropriately."""
+    print(f"executor failure: {type(error).__name__}: {error}")
+    if not quarantine_flag:
+        print(
+            "hint: rerun with --quarantine to bisect out the failing "
+            "cell(s) and complete with partial results"
+        )
+    return 3
+
+
+def _print_quarantine(report) -> None:
+    """Summarise a run's quarantine accounting.
+
+    Printed whenever quarantine was requested — a clean run states
+    "0 of N cells" explicitly rather than staying silent, so partial
+    results are never mistaken for complete ones (or vice versa).
+    """
+    if report is None:
+        return
+    print(report.describe())
+    for cell in report.cells:
+        print(f"  quarantined: {cell.describe()}")
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.analysis.text_report import render_campaign
     from repro.ptest.campaign import Campaign
@@ -117,6 +151,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         workers=args.workers,
         batch_size=args.batch_size,
         keep_results=False,
+        cell_timeout=args.cell_timeout,
+        quarantine=args.quarantine,
     )
     try:
         fixed = _parse_params(args.param)
@@ -132,6 +168,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return 2
     try:
         rows = campaign.run()
+    except WatchdogTimeout as error:
+        # Before the (ReproError, ...) -> 2 arm: a hung batch is a
+        # fabric failure, not a config mistake.
+        return _executor_failure(error, args.quarantine)
+    except (BrokenProcessPool, CancelledError) as error:
+        return _executor_failure(error, args.quarantine)
     except (ReproError, ValueError) as error:
         # e.g. batch_size < 1, or a builder rejecting a param value at
         # cell-build time — config problems, not found bugs.
@@ -150,6 +192,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         + (f", batch_size={args.batch_size}" if args.batch_size else "")
     )
     print(render_campaign(rows))
+    _print_quarantine(campaign.last_quarantine)
     return 0
 
 
@@ -214,6 +257,8 @@ def _cmd_adapt(args: argparse.Namespace) -> int:
             )
             policy = factory(**policy_kwargs)
             rounds = args.rounds if args.rounds is not None else 3
+        if args.resume and args.checkpoint is None:
+            raise ConfigError("--resume needs --checkpoint PATH")
         campaign = AdaptiveCampaign(
             seeds=tuple(range(args.seeds)),
             rounds=rounds,
@@ -221,6 +266,10 @@ def _cmd_adapt(args: argparse.Namespace) -> int:
             workers=args.workers,
             batch_size=args.batch_size,
             prewarm=not args.no_prewarm,
+            cell_timeout=args.cell_timeout,
+            quarantine=args.quarantine,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
         )
         fixed = _parse_params(args.param)
         grid = _parse_grid(args.grid)
@@ -229,6 +278,12 @@ def _cmd_adapt(args: argparse.Namespace) -> int:
         else:
             campaign.add_scenario(args.scenario, args.scenario, **fixed)
         result = campaign.run()
+    except WatchdogTimeout as error:
+        # A hung round the watchdog could not recover — fabric failure
+        # (exit 3), checked before the ReproError -> 2 arm.
+        return _executor_failure(error, args.quarantine)
+    except (BrokenProcessPool, CancelledError) as error:
+        return _executor_failure(error, args.quarantine)
     except (ReproError, ValueError) as error:
         # Config problems (unknown scenario/param, bad grid or rounds,
         # a policy needing refs it did not get) — not found bugs.
@@ -250,6 +305,11 @@ def _cmd_adapt(args: argparse.Namespace) -> int:
         + (
             f" [prewarmed {result.prewarmed_refs} ref(s)]"
             if result.prewarmed_refs
+            else ""
+        )
+        + (
+            f" [resumed {result.resumed_rounds} round(s) from checkpoint]"
+            if result.resumed_rounds
             else ""
         )
     )
@@ -276,6 +336,7 @@ def _cmd_adapt(args: argparse.Namespace) -> int:
             f"{stage_note}{pool_note}"
         )
         print(render_campaign(list(observation.rows)))
+        _print_quarantine(observation.quarantine)
     return 0
 
 
@@ -456,6 +517,22 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of shutting it down (for embedding callers that will "
         "dispatch again)",
     )
+    campaign_p.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="watchdog deadline per cell: hung worker batches are "
+        "killed and retried instead of wedging the campaign "
+        "(default: wait forever)",
+    )
+    campaign_p.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="bisect repeatedly-failing batches down to the poison "
+        "cells and complete with partial results (reported per cell) "
+        "instead of aborting",
+    )
     campaign_p.set_defaults(func=_cmd_campaign)
 
     adapt_p = sub.add_parser(
@@ -530,6 +607,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--keep-pool",
         action="store_true",
         help="leave the shared worker pool warm after the run",
+    )
+    adapt_p.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="watchdog deadline per cell (see `campaign --cell-timeout`)",
+    )
+    adapt_p.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="bisect repeatedly-failing batches down to the poison "
+        "cells and keep going (see `campaign --quarantine`)",
+    )
+    adapt_p.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="persist round-by-round progress to PATH (atomic "
+        "write-then-rename after every round)",
+    )
+    adapt_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay completed rounds from --checkpoint and continue "
+        "where the previous run stopped (bit-identical to an "
+        "uninterrupted run; a missing file starts fresh)",
     )
     adapt_p.set_defaults(func=_cmd_adapt)
 

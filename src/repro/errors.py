@@ -87,5 +87,30 @@ class ConfigError(ReproError):
     """Raised when a test-harness configuration is inconsistent."""
 
 
+class WatchdogTimeout(ReproError):
+    """A campaign batch exceeded its watchdog deadline unrecoverably.
+
+    Raised by :class:`~repro.ptest.executor.CellExecutor` when a batch
+    keeps blowing through ``cell_timeout`` after the stuck workers were
+    killed and the batch resubmitted up to the respawn budget — and
+    quarantine is off, so the hang cannot be isolated to a cell.  With
+    ``quarantine=True`` the executor bisects instead of raising.
+    """
+
+
+class ChaosInjectedError(ReproError):
+    """A fault injected by :mod:`repro.ptest.chaos` (never a real bug).
+
+    Raised inside worker processes for ``raise_seeds`` poison cells so
+    the recovery machinery sees a deterministic batch-lethal failure
+    whose origin is unambiguous in test assertions and logs.
+    """
+
+
+class CheckpointError(ReproError):
+    """An adaptive-campaign checkpoint cannot be written, read, or does
+    not match the campaign attempting to resume from it."""
+
+
 class DetectorError(ReproError):
     """Raised for misuse of the bug detector API."""

@@ -56,6 +56,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Protocol, Sequence, runtime_checkable
 
+from pathlib import Path
+
 from repro.errors import ConfigError
 from repro.ptest.campaign import (
     Campaign,
@@ -65,7 +67,14 @@ from repro.ptest.campaign import (
     TeeSink,
     grid_variants,
 )
-from repro.ptest.executor import ResultSink, ScenarioBuilder
+from repro.ptest.chaos import ChaosSpec
+from repro.ptest.checkpoint import CampaignCheckpoint, campaign_fingerprint
+from repro.ptest.executor import (
+    QuarantinedCell,
+    QuarantineReport,
+    ResultSink,
+    ScenarioBuilder,
+)
 from repro.ptest.merger import PatternMerger
 from repro.ptest.pool import WorkerPool, get_pool
 from repro.ptest.replay import ReplayRef, parse_merged_description, replay_ref
@@ -89,6 +98,11 @@ class RoundObservation:
     #: ``WorkerPool.pool_id`` the round dispatched through (``None`` for
     #: serial rounds) — constant across rounds certifies warm reuse.
     pool_id: int | None
+    #: Partial-result accounting of the round when the campaign ran with
+    #: ``quarantine=True`` (``None`` otherwise).  Quarantined cells are
+    #: configuration-independent, so this rides inside the determinism
+    #: contract rather than alongside it.
+    quarantine: "QuarantineReport | None" = None
 
     @property
     def total_detections(self) -> int:
@@ -415,6 +429,9 @@ class AdaptiveResult:
     #: serial runs, or with pre-warming disabled) — perf telemetry
     #: only, never part of the determinism fingerprint.
     prewarmed_refs: int = 0
+    #: Rounds replayed from a checkpoint instead of executed (0 on a
+    #: straight-through run) — telemetry, never part of the results.
+    resumed_rounds: int = 0
 
     @property
     def final_rows(self) -> tuple[CampaignRow, ...]:
@@ -433,6 +450,19 @@ class AdaptiveResult:
     def variant_history(self) -> list[tuple[str, ...]]:
         return [tuple(r.variants) for r in self.rounds]
 
+    @property
+    def quarantined_cells(self) -> tuple[QuarantinedCell, ...]:
+        """Every cell quarantined across the run, round order."""
+        cells: list[QuarantinedCell] = []
+        for observation in self.rounds:
+            if observation.quarantine is not None:
+                cells.extend(observation.quarantine.cells)
+        return tuple(cells)
+
+    @property
+    def total_quarantined(self) -> int:
+        return len(self.quarantined_cells)
+
     def describe(self) -> str:
         lines = []
         for observation in self.rounds:
@@ -446,6 +476,16 @@ class AdaptiveResult:
                     f"  {row.variant}: {row.detections}/{row.runs}"
                     + (f" {', '.join(row.kinds)}" if row.kinds else "")
                 )
+            if (
+                observation.quarantine is not None
+                and observation.quarantine.cells
+            ):
+                lines.append(f"  {observation.quarantine.describe()}")
+        if self.resumed_rounds:
+            lines.append(
+                f"resumed: {self.resumed_rounds} round(s) replayed "
+                "from checkpoint"
+            )
         if self.stopped_early:
             lines.append("stopped early: policy returned no variants")
         return "\n".join(lines)
@@ -469,6 +509,17 @@ class AdaptiveCampaign:
     ``rounds`` caps the round count; the policy may stop earlier by
     returning no variants.  Results are identical at any ``(workers,
     batch_size, warm/cold)`` — see the module docstring's contract.
+
+    **Crash safety.**  ``checkpoint=`` names a file that receives the
+    campaign's round-by-round progress (atomically, after every
+    executed round).  With ``resume=True`` a matching checkpoint's
+    completed rounds are *replayed* from disk — each stored
+    observation runs back through ``policy.refine``, rebuilding
+    policy/pipeline state exactly as the original rounds did, without
+    executing a single cell — and execution continues at the first
+    uncovered round, bit-identical to a never-interrupted run.  The
+    round budget is not part of the checkpoint identity, so raising
+    ``rounds`` and resuming extends a finished study.
     """
 
     seeds: Iterable[int] = (0, 1, 2, 3, 4)
@@ -480,6 +531,21 @@ class AdaptiveCampaign:
     pool: "WorkerPool | None" = None
     #: Detecting cells sampled per variant per round (what policies see).
     capture_per_variant: int = 4
+    #: Per-cell watchdog deadline, forwarded to every round's campaign.
+    cell_timeout: float | None = None
+    #: Bisect repeatedly-failing batches instead of raising; each
+    #: round's :class:`~repro.ptest.executor.QuarantineReport` lands on
+    #: its :class:`RoundObservation`.
+    quarantine: bool = False
+    #: Seeded fault injection at the pool boundary (tests/benches only).
+    chaos: "ChaosSpec | None" = None
+    #: File persisting round-by-round progress (``None`` = no
+    #: checkpointing).  A fresh run overwrites any existing file.
+    checkpoint: "str | Path | None" = None
+    #: Replay completed rounds from ``checkpoint`` before executing.
+    #: A missing checkpoint file starts fresh; a mismatched one raises
+    #: :class:`~repro.errors.CheckpointError`.
+    resume: bool = False
     #: Ship each refined round's distinct refs to the workers (via
     #: :meth:`~repro.ptest.pool.WorkerPool.prewarm`) as soon as the
     #: policy emits them, so round N+1's scenario resolution and PFA
@@ -539,17 +605,64 @@ class AdaptiveCampaign:
         # Normalised once: a generator-valued ``seeds`` would otherwise
         # be exhausted by round 1 and leave rounds 2+ with zero cells.
         seeds = tuple(self.seeds)
+        if self.resume and self.checkpoint is None:
+            raise ConfigError("resume=True needs a checkpoint path")
+        store: CampaignCheckpoint | None = None
+        fingerprint = ""
+        if self.checkpoint is not None:
+            store = CampaignCheckpoint(self.checkpoint)
+            fingerprint = campaign_fingerprint(
+                seeds, self.variants, policy, self.capture_per_variant
+            )
         current: dict[str, ScenarioBuilder] = dict(self.variants)
         observations: list[RoundObservation] = []
         stopped_early = False
         prewarmed_refs = 0
-        for index in range(self.rounds):
+        resumed_rounds = 0
+        if self.resume and store is not None and store.exists():
+            # Replay completed rounds from disk: every stored
+            # observation goes back through ``policy.refine`` exactly
+            # as the live rounds did, so policy/pipeline state and the
+            # next round's variants are rebuilt without executing a
+            # cell.  Policies are pure functions of their observations
+            # (the determinism contract), which is why no policy state
+            # needs persisting.
+            payload = store.load(fingerprint)
+            prewarmed_refs = payload["prewarmed_refs"]
+            for observation in payload["observations"]:
+                if len(observations) >= self.rounds:
+                    break  # budget shrank below the stored progress
+                observations.append(observation)
+                resumed_rounds += 1
+                if len(observations) == self.rounds:
+                    break
+                refined = policy.refine(observation)
+                if not refined:
+                    stopped_early = True
+                    break
+                current = dict(refined)
+            if (
+                not stopped_early
+                and len(observations) < self.rounds
+                and observations
+                and self.prewarm
+                and pool is not None
+            ):
+                # The upcoming round's refs would already be warm in an
+                # uninterrupted run; re-ship them without re-counting.
+                pool.prewarm(current.values())
+        for index in range(len(observations), self.rounds):
+            if stopped_early:
+                break
             campaign = Campaign(
                 seeds=seeds,
                 workers=self.workers,
                 batch_size=self.batch_size,
                 pool=pool,
                 keep_results=False,
+                cell_timeout=self.cell_timeout,
+                quarantine=self.quarantine,
+                chaos=self.chaos,
             )
             campaign.variants = dict(current)
             capture = DetectionCapture(
@@ -568,13 +681,34 @@ class AdaptiveCampaign:
                     if capture.for_variant(name)
                 },
                 pool_id=campaign.last_pool_id,
+                quarantine=campaign.last_quarantine,
             )
             observations.append(observation)
-            if index + 1 == self.rounds:
+            final = index + 1 == self.rounds
+            if store is not None:
+                # Atomic per-round persistence: a crash after this
+                # point replays the round from disk instead of
+                # re-executing it.
+                store.save(
+                    fingerprint=fingerprint,
+                    observations=observations,
+                    prewarmed_refs=prewarmed_refs,
+                    stopped_early=False,
+                    finished=final,
+                )
+            if final:
                 break
             refined = policy.refine(observation)
             if not refined:
                 stopped_early = True
+                if store is not None:
+                    store.save(
+                        fingerprint=fingerprint,
+                        observations=observations,
+                        prewarmed_refs=prewarmed_refs,
+                        stopped_early=True,
+                        finished=True,
+                    )
                 break
             current = dict(refined)
             if self.prewarm and pool is not None:
@@ -589,4 +723,5 @@ class AdaptiveCampaign:
             rounds=observations,
             stopped_early=stopped_early,
             prewarmed_refs=prewarmed_refs,
+            resumed_rounds=resumed_rounds,
         )

@@ -20,9 +20,11 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.errors import ConfigError
+from repro.ptest.chaos import ChaosSpec
 from repro.ptest.detector import AnomalyKind
 from repro.ptest.executor import (
     CellExecutor,
+    QuarantineReport,
     ResultSink,
     ScenarioBuilder,
     WorkCell,
@@ -230,10 +232,26 @@ class Campaign:
     #: at every setting.
     batch_sampling: bool | None = None
     keep_results: bool = True
+    #: Per-cell watchdog deadline in seconds — forwarded to
+    #: :class:`~repro.ptest.executor.CellExecutor`; hung pool batches
+    #: are killed and retried instead of wedging the campaign.
+    cell_timeout: float | None = None
+    #: Bisect repeatedly-failing batches down to the poison cells and
+    #: finish with partial results (see :meth:`run` /
+    #: :attr:`last_quarantine`) instead of raising.
+    quarantine: bool = False
+    #: Seeded fault injection at the pool boundary (tests/benches only);
+    #: see :class:`~repro.ptest.chaos.ChaosSpec`.
+    chaos: "ChaosSpec | None" = None
     #: ``WorkerPool.pool_id`` the last :meth:`run` dispatched through
     #: (``None`` after a serial run) — equal ids across runs certify
     #: warm-pool reuse.
     last_pool_id: int | None = field(default=None, init=False)
+    #: :class:`~repro.ptest.executor.QuarantineReport` of the last
+    #: :meth:`run` when ``quarantine`` was on (``None`` otherwise).
+    last_quarantine: "QuarantineReport | None" = field(
+        default=None, init=False
+    )
     #: Per-variant streaming aggregates of the last :meth:`run` — what
     #: :meth:`detection_rate` / :meth:`kind_counts` consult, so those
     #: accessors stay correct with ``keep_results=False``.
@@ -310,9 +328,13 @@ class Campaign:
             ),
             pool=self.pool,
             batch_sampling=self.batch_sampling,
+            cell_timeout=self.cell_timeout,
+            quarantine=self.quarantine,
+            chaos=self.chaos,
         )
         executor.run_cells(self.variants, cells, sink=fan_out)
         self.last_pool_id = executor.last_pool_id
+        self.last_quarantine = executor.last_quarantine
         if retained is not None:
             self.results.update(retained)
         self._accumulators.update(accumulators)

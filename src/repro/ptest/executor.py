@@ -44,6 +44,36 @@ execution model:
   aggregation is identical whichever path (or batch packing) ran, and
   nothing requires materialising every
   :class:`~repro.ptest.harness.TestRunResult` at once.
+
+On top of the execution model sits the fault-tolerance layer (this is
+the machinery a future multi-host tier will reuse for host loss):
+
+* **Watchdog timeouts.**  ``cell_timeout`` arms a per-batch deadline
+  (``cell_timeout × batch cells``) on every pool drain: a batch whose
+  future never completes is declared hung, its executor's worker
+  processes are *killed* (a hung worker never honours a graceful
+  shutdown) and the batch re-enters the same respawn/resubmit path
+  that worker crashes take.  Hangs stop being campaign-enders and
+  become retryable faults.
+* **Poison-cell quarantine.**  With ``quarantine=True`` a batch that
+  keeps failing — killing its worker, blowing its deadline, or raising
+  — is *bisected* in isolation down to the offending ``(variant,
+  seed)`` cells.  Innocent cells from the batch are delivered normally
+  (still in submission order); the guilty ones are recorded in a
+  :class:`QuarantineReport` (kind ``crash`` / ``timeout`` / ``lethal``)
+  and the run completes with explicit partial-result accounting
+  instead of raising away every row already computed.
+* **Chaos injection.**  ``chaos=`` swaps the worker entry point for
+  :func:`~repro.ptest.chaos.run_chaos_batch`, which injects seeded
+  worker kills, forced hangs and batch delays at the pool boundary —
+  the recovery invariants above are proven by asserting chaos-on
+  output equals chaos-off output bit for bit.
+
+The serial path (``workers=1``) runs cells in-process, so there is no
+worker to kill, no deadline that can pre-empt a hung cell, and no pool
+boundary for chaos: ``cell_timeout`` and ``chaos`` are inert there,
+while ``quarantine`` still isolates *raising* cells (kind ``lethal``)
+identically to the parallel path.
 """
 
 from __future__ import annotations
@@ -63,6 +93,8 @@ from typing import (
     runtime_checkable,
 )
 
+from repro.errors import WatchdogTimeout
+from repro.ptest.chaos import ChaosSpec, run_chaos_batch
 from repro.ptest.pool import WorkerPool, get_pool, make_batch_table, run_table_batch
 
 if TYPE_CHECKING:  # circular at runtime: harness -> detector -> ...
@@ -139,6 +171,72 @@ def _picklable(value: object) -> bool:
     return True
 
 
+@dataclass(frozen=True)
+class QuarantinedCell:
+    """One (variant, seed) cell isolated by the quarantine machinery.
+
+    ``kind`` names the failure family — ``"crash"`` (the cell killed
+    its worker process), ``"timeout"`` (the cell blew the watchdog
+    deadline even when run alone), ``"lethal"`` (the cell raised; the
+    exception type and message are in ``detail``).  ``detail`` strings
+    are configuration-independent — no worker counts, batch sizes or
+    timings — so quarantine reports compare equal across every
+    ``(workers, batch_size, chaos)`` configuration that isolates the
+    same cells.
+    """
+
+    variant: str
+    seed: int
+    kind: str
+    detail: str
+
+    def describe(self) -> str:
+        return f"{self.variant} seed={self.seed}: {self.kind} ({self.detail})"
+
+
+@dataclass(frozen=True)
+class QuarantineReport:
+    """Partial-result accounting for a quarantined run.
+
+    ``attempted`` counts every cell the run was asked to execute,
+    ``completed`` the ones that delivered a result; the difference is
+    exactly ``len(cells)``.  Attached to
+    :class:`CellExecutor.last_quarantine` (and surfaced up through
+    ``Campaign`` / ``AdaptiveCampaign``) after every run with
+    ``quarantine=True`` — including fully clean ones, where ``cells``
+    is empty, so "nothing was quarantined" is an explicit statement
+    rather than a missing attribute.
+    """
+
+    cells: tuple[QuarantinedCell, ...]
+    attempted: int
+    completed: int
+
+    @property
+    def quarantined(self) -> int:
+        return len(self.cells)
+
+    def by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for cell in self.cells:
+            counts[cell.kind] = counts.get(cell.kind, 0) + 1
+        return counts
+
+    def for_variant(self, variant: str) -> tuple[QuarantinedCell, ...]:
+        return tuple(c for c in self.cells if c.variant == variant)
+
+    def describe(self) -> str:
+        if not self.cells:
+            return f"quarantine: 0 of {self.attempted} cells"
+        kinds = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(self.by_kind().items())
+        )
+        return (
+            f"quarantine: {self.quarantined} of {self.attempted} cells "
+            f"({kinds}); {self.completed} completed"
+        )
+
+
 @dataclass
 class CellExecutor:
     """Runs campaign cells, serially or across worker processes.
@@ -179,18 +277,44 @@ class CellExecutor:
         path (``workers=1``) always samples scalar: each cell builds
         its own generator in-process, and there is no batch to share a
         sampler across.
+    cell_timeout:
+        Watchdog deadline in seconds *per cell*: a pool batch gets
+        ``cell_timeout × len(batch)`` of wall clock before its workers
+        are declared hung, killed, and the batch resubmitted (then
+        bisected under ``quarantine``, or raised as
+        :class:`~repro.errors.WatchdogTimeout` once the respawn budget
+        is spent without it).  ``None`` (the default) waits forever —
+        the pre-watchdog behaviour.  Inert on the serial path, where a
+        hung cell cannot be pre-empted in-process.
+    quarantine:
+        When true, batches that repeatedly kill workers, blow the
+        watchdog deadline, or raise are bisected down to the poison
+        ``(variant, seed)`` cells; those are recorded on
+        ``last_quarantine`` and the run *completes* with the innocent
+        cells' results instead of raising.  When false (the default)
+        such failures propagate exactly as before.
+    chaos:
+        A :class:`~repro.ptest.chaos.ChaosSpec` injecting seeded
+        worker kills / hangs / delays at the pool boundary (testing
+        and benchmarking only).  Never applied on the serial path.
 
     After :meth:`run_cells` returns, ``ran_parallel`` records which
     path executed — ``False`` plus a :class:`RuntimeWarning` when
     parallelism was requested but a builder could not be pickled — and
     ``last_batch_size`` / ``batches_submitted`` / ``last_pool_id``
-    record how the cells were packed and which pool ran them.
+    record how the cells were packed and which pool ran them.  With
+    ``quarantine=True``, ``last_quarantine`` carries the
+    :class:`QuarantineReport`; ``timeouts_detected`` counts watchdog
+    expiries observed (either mode).
     """
 
     workers: int | None = None
     batch_size: int | None = None
     pool: "WorkerPool | None" = None
     batch_sampling: bool | None = None
+    cell_timeout: float | None = None
+    quarantine: bool = False
+    chaos: "ChaosSpec | None" = None
     #: Which path the last :meth:`run_cells` took (None before any run).
     ran_parallel: bool | None = None
     #: Effective batch size of the last parallel run (None = serial).
@@ -201,6 +325,11 @@ class CellExecutor:
     #: (None = serial); equal across runs means the warm pool was
     #: reused, a change means cold start or dead-worker respawn.
     last_pool_id: int | None = None
+    #: :class:`QuarantineReport` of the last run when ``quarantine``
+    #: was on (None before any run or with quarantine off).
+    last_quarantine: QuarantineReport | None = None
+    #: Watchdog deadline expiries observed across the last run.
+    timeouts_detected: int = 0
 
     def run_cells(
         self,
@@ -217,6 +346,11 @@ class CellExecutor:
         the method returns ``None`` — no result list is materialised,
         so an aggregating sink runs arbitrarily large campaigns in
         memory bounded by the in-flight batches, not the cell count.
+
+        With ``quarantine=True``, isolated cells occupy their position
+        in the returned list as ``None`` (so alignment with ``cells``
+        is preserved) and are never delivered to ``sink``; the full
+        accounting lands on ``last_quarantine``.
         """
         for cell in cells:
             if cell.variant not in builders:
@@ -225,6 +359,10 @@ class CellExecutor:
         if requested is not None and requested < 1:
             # Reject on every path, not just when the pool would run.
             raise ValueError(f"batch_size must be >= 1, got {requested}")
+        if self.cell_timeout is not None and self.cell_timeout <= 0:
+            raise ValueError(
+                f"cell_timeout must be > 0, got {self.cell_timeout}"
+            )
         if self.batch_sampling is True:
             # Fail the explicit request here, in the parent, with a
             # ConfigError naming the fix — not an ImportError (or the
@@ -235,6 +373,8 @@ class CellExecutor:
         self.last_batch_size = None
         self.batches_submitted = 0
         self.last_pool_id = None
+        self.last_quarantine = None
+        self.timeouts_detected = 0
         # workers=None defers to the pool: handing over a multi-worker
         # pool is itself the parallelism request.  An explicit 1 always
         # wins — in-process execution stays reachable for debugging.
@@ -263,12 +403,39 @@ class CellExecutor:
             )
         self.ran_parallel = False
         results = None if sink is not None else []
+        quarantined: list[QuarantinedCell] = []
         for cell in cells:
-            result = run_cell(builders[cell.variant], cell.seed)
+            if self.quarantine:
+                # The serial analogue of lethal-batch bisection: a
+                # raising cell is already perfectly isolated, so record
+                # it and keep going.  Hangs and worker kills have no
+                # serial counterpart (nothing to pre-empt or respawn).
+                try:
+                    result = run_cell(builders[cell.variant], cell.seed)
+                except Exception as error:
+                    quarantined.append(
+                        QuarantinedCell(
+                            cell.variant,
+                            cell.seed,
+                            kind="lethal",
+                            detail=f"{type(error).__name__}: {error}",
+                        )
+                    )
+                    if results is not None:
+                        results.append(None)
+                    continue
+            else:
+                result = run_cell(builders[cell.variant], cell.seed)
             if sink is not None:
                 sink.accept(cell, result)
             else:
                 results.append(result)
+        if self.quarantine:
+            self.last_quarantine = QuarantineReport(
+                cells=tuple(quarantined),
+                attempted=len(cells),
+                completed=len(cells) - len(quarantined),
+            )
         return results
 
     def prewarm(
@@ -363,8 +530,27 @@ class CellExecutor:
             None if sink is not None else []
         )
 
+        # With quarantine on, positional results need a slot per cell
+        # even when some never complete; record each cell's index once
+        # so delivery (from the main drain or from bisection screening)
+        # can land results in place.
+        position = {id(cell): index for index, cell in enumerate(cells)}
+        if results is not None and self.quarantine:
+            results.extend([None] * len(cells))
+        delivered = [False] * len(cells)
+        quarantined: list[QuarantinedCell] = []
+
+        def deliver(cell: WorkCell, result: "TestRunResult") -> None:
+            if sink is not None:
+                sink.accept(cell, result)
+            elif self.quarantine:
+                results[position[id(cell)]] = result
+            else:
+                results.append(result)
+            delivered[position[id(cell)]] = True
+
         def submit(
-            batch: list[WorkCell],
+            batch: list[WorkCell], attempt: int = 0
         ) -> tuple["Future", int | None]:
             # The wire format: each distinct builder once, then compact
             # (table_index, seed) rows — N same-variant cells pickle
@@ -375,21 +561,103 @@ class CellExecutor:
                 [builders[cell.variant] for cell in batch],
                 [cell.seed for cell in batch],
             )
-            future, pool_id = pool.submit_tagged(
-                run_table_batch, table, jobs, self.batch_sampling
-            )
+            if self.chaos is not None:
+                # Same wire format, chaos-wrapped entry point; the
+                # attempt number lets transient faults re-draw on each
+                # resubmission (a kill-once, recover-on-retry shape).
+                future, pool_id = pool.submit_tagged(
+                    run_chaos_batch,
+                    self.chaos,
+                    attempt,
+                    table,
+                    jobs,
+                    self.batch_sampling,
+                )
+            else:
+                future, pool_id = pool.submit_tagged(
+                    run_table_batch, table, jobs, self.batch_sampling
+                )
             # Refresh on every submission: submit_tagged respawns a
             # broken pool silently, and telemetry must name the pool
             # that actually took the work.
             self.last_pool_id = pool_id
             return future, pool_id
 
+        def deadline_for(batch: list[WorkCell]) -> float | None:
+            if self.cell_timeout is None:
+                return None
+            return self.cell_timeout * max(1, len(batch))
+
+        def screen(group: list[WorkCell]) -> None:
+            """Bisect ``group`` in isolation down to its poison cells.
+
+            Runs sub-batches *synchronously* (one in flight at a time),
+            so deliveries stay in submission order relative to the
+            group.  A failing single cell is retried once — transient
+            chaos or a real one-off crash deserves a second chance —
+            and quarantined only when it fails twice in a row.
+            """
+
+            def attempt_once(
+                part: list[WorkCell], attempt: int
+            ) -> tuple[str, object]:
+                future, pool_id = submit(part, attempt)
+                try:
+                    return "ok", future.result(timeout=deadline_for(part))
+                except TimeoutError as error:
+                    if future.done():
+                        # The *cell* raised TimeoutError; the deadline
+                        # never fired.  Classify as lethal, like any
+                        # other cell-raised exception.
+                        return (
+                            "lethal",
+                            f"{type(error).__name__}: {error}",
+                        )
+                    self.timeouts_detected += 1
+                    pool.terminate(pool_id)
+                    return (
+                        "timeout",
+                        f"exceeded {self.cell_timeout}s/cell watchdog "
+                        "deadline",
+                    )
+                except (BrokenProcessPool, CancelledError):
+                    pool.notify_broken(pool_id)
+                    return "crash", "worker process died"
+                except Exception as error:
+                    return "lethal", f"{type(error).__name__}: {error}"
+
+            outcome, payload = attempt_once(group, 0)
+            if outcome == "ok":
+                for cell, result in zip(group, payload):
+                    deliver(cell, result)
+                return
+            if len(group) == 1:
+                outcome, payload = attempt_once(group, 1)
+                if outcome == "ok":
+                    for cell, result in zip(group, payload):
+                        deliver(cell, result)
+                    return
+                quarantined.append(
+                    QuarantinedCell(
+                        group[0].variant,
+                        group[0].seed,
+                        kind=outcome,
+                        detail=str(payload),
+                    )
+                )
+                return
+            mid = len(group) // 2
+            screen(group[:mid])
+            screen(group[mid:])
+
         # Keep at most ~2 batches per worker in flight: enough queued
         # work that no worker idles between batches, while undrained
         # result payloads stay bounded by the window, not the campaign
         # size (the constant-memory contract of sink streaming).
         window = 2 * min(width, len(batches))
-        pending: deque[tuple[list[WorkCell], "Future", int | None]] = deque()
+        pending: deque[
+            tuple[list[WorkCell], int, "Future", int | None]
+        ] = deque()
         cursor = 0
 
         def top_up() -> None:
@@ -397,7 +665,26 @@ class CellExecutor:
             while cursor < len(batches) and len(pending) < window:
                 batch = batches[cursor]
                 cursor += 1
-                pending.append((batch, *submit(batch)))
+                pending.append((batch, 0, *submit(batch, 0)))
+
+        def resubmit_pending(
+            first: list[WorkCell] | None, first_attempt: int
+        ) -> deque:
+            """Cancel every pending future and resubmit the batches.
+
+            Called after a pool break or a terminate: the surviving
+            futures are doomed (or riding a torn-down executor), so
+            cancel them and put fresh submissions — each with a bumped
+            attempt counter for chaos re-draws — back in order.
+            """
+            stale = [] if first is None else [(first, first_attempt + 1)]
+            for other, other_attempt, other_future, _id in pending:
+                other_future.cancel()
+                stale.append((other, other_attempt + 1))
+            return deque(
+                (other, attempt, *submit(other, attempt))
+                for other, attempt in stale
+            )
 
         # Drain in submission order: later batches may finish first,
         # but delivery (and therefore aggregation) never reorders.
@@ -405,9 +692,49 @@ class CellExecutor:
         respawns_without_progress = 0
         try:
             while pending:
-                batch, future, submitted_to = pending.popleft()
+                batch, attempt, future, submitted_to = pending.popleft()
                 try:
-                    batch_results = future.result()
+                    batch_results = future.result(
+                        timeout=deadline_for(batch)
+                    )
+                except TimeoutError as error:
+                    if future.done():
+                        # Not the watchdog: the cell itself raised
+                        # TimeoutError.  Same handling as any other
+                        # cell-raised exception below.
+                        if not self.quarantine:
+                            raise
+                        screen(batch)
+                        respawns_without_progress = 0
+                        top_up()
+                        continue
+                    # Watchdog expiry: the batch is hung.  A hung
+                    # worker never honours a graceful shutdown, so
+                    # kill the executor's processes outright, then
+                    # either bisect the batch (quarantine) or resubmit
+                    # it within the respawn budget.
+                    self.timeouts_detected += 1
+                    pool.terminate(submitted_to)
+                    if self.quarantine:
+                        screen(batch)
+                        pending = resubmit_pending(None, 0)
+                        respawns_without_progress = 0
+                        top_up()
+                        continue
+                    if respawns_without_progress >= self.MAX_POOL_RESPAWNS:
+                        raise WatchdogTimeout(
+                            f"batch of {len(batch)} cells "
+                            f"({batch[0].variant} seed={batch[0].seed}, "
+                            f"...) still exceeded the "
+                            f"{self.cell_timeout}s/cell watchdog "
+                            f"deadline after "
+                            f"{self.MAX_POOL_RESPAWNS} worker respawns; "
+                            "pass quarantine=True to bisect out the "
+                            "hung cell instead"
+                        ) from error
+                    respawns_without_progress += 1
+                    pending = resubmit_pending(batch, attempt)
+                    continue
                 except (BrokenProcessPool, CancelledError):
                     # A worker died, killing its pool and every future
                     # still on it — or the executor was retired under
@@ -421,30 +748,49 @@ class CellExecutor:
                     # resubmitted, so letting the originals run would
                     # only burn the shared workers twice.
                     if respawns_without_progress >= self.MAX_POOL_RESPAWNS:
-                        raise
+                        if not self.quarantine:
+                            raise
+                        # The head batch keeps breaking fresh pools:
+                        # bisect it in isolation.  If the poison rides
+                        # a *different* pending batch, this screening
+                        # delivers the head cleanly (progress) and the
+                        # guilty batch exhausts its own budget when it
+                        # reaches the head of the queue.
+                        pool.notify_broken(submitted_to)
+                        screen(batch)
+                        pending = resubmit_pending(None, 0)
+                        respawns_without_progress = 0
+                        top_up()
+                        continue
                     respawns_without_progress += 1
                     pool.notify_broken(submitted_to)
-                    stale = [batch]
-                    for other, other_future, _id in pending:
-                        other_future.cancel()
-                        stale.append(other)
-                    pending = deque(
-                        (other, *submit(other)) for other in stale
-                    )
+                    pending = resubmit_pending(batch, attempt)
+                    continue
+                except Exception:
+                    # A cell raised inside the batch (delivered intact
+                    # over the pool): lethal, not a worker death.
+                    if not self.quarantine:
+                        raise
+                    screen(batch)
+                    respawns_without_progress = 0
+                    top_up()
                     continue
                 respawns_without_progress = 0
                 for cell, result in zip(batch, batch_results):
-                    if sink is not None:
-                        sink.accept(cell, result)
-                    else:
-                        results.append(result)
+                    deliver(cell, result)
                 top_up()
         except BaseException:
             # Aborting (a cell raised, retries exhausted, KeyboardInt):
             # the pool outlives this run, so stop queued batches from
             # burning the shared workers on work nobody will read.
             # Already-running batches finish on their own.
-            for _batch, future, _id in pending:
+            for _batch, _attempt, future, _id in pending:
                 future.cancel()
             raise
+        if self.quarantine:
+            self.last_quarantine = QuarantineReport(
+                cells=tuple(quarantined),
+                attempted=len(cells),
+                completed=sum(delivered),
+            )
         return results

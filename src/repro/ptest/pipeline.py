@@ -57,6 +57,11 @@ bit-identical-rounds contract extends to composed schedules at any
 The progress state resets whenever a round-0 observation arrives, so
 one pipeline instance can drive consecutive runs; stage conditions are
 pure functions of the history handed to them and hold no state at all.
+The same two properties make checkpoint *resume* work without
+persisting any pipeline state: ``AdaptiveCampaign(checkpoint=...,
+resume=True)`` replays the stored observations through :meth:`refine`
+in order, and the schedule position, per-stage history and
+``stage_log`` come out exactly as the original rounds left them.
 
 :func:`parse_pipeline` builds a pipeline from the CLI's compact
 ``"grid_zoom:3,replay:2"`` spelling (``repro adapt --pipeline ...``).

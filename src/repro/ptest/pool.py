@@ -225,6 +225,43 @@ class WorkerPool:
                 return  # that executor is already gone
             self._discard()
 
+    def terminate(self, pool_id: int | None = None) -> int:
+        """Kill the live executor's worker processes and discard it.
+
+        The watchdog's hammer: a *hung* worker never exits on
+        ``shutdown(wait=False)`` — the process sits in its stuck
+        syscall/loop holding a core and (under ``fork``) whatever
+        memory it mapped, so respawning around it is not enough; it
+        must be killed.  ``SIGTERM`` is sent to every worker of the
+        current executor (the parent cannot tell which one holds the
+        stuck batch, and sibling workers' in-flight batches are
+        resubmitted by the caller anyway, exactly like after a real
+        worker death).  ``pool_id`` scopes the kill the same way
+        :meth:`notify_broken` scopes a break report: a stale request
+        naming an executor that was already replaced is a no-op.
+
+        Returns how many worker processes were signalled.  The next
+        :meth:`submit` respawns a fresh executor; results of re-run
+        cells are bit-identical by the determinism contract.
+        """
+        with self._lock:
+            if pool_id is not None and pool_id != self._pool_id:
+                return 0  # that executor is already gone
+            executor = self._executor
+            if executor is None:
+                return 0
+            # _processes is internal to ProcessPoolExecutor but stable
+            # across supported CPythons; an empty mapping (workers not
+            # yet forked) just means nothing needs killing.
+            processes = list(getattr(executor, "_processes", {}).values())
+            for process in processes:
+                try:
+                    process.terminate()
+                except Exception:
+                    pass  # already dead: exactly the state we want
+            self._discard()
+            return len(processes)
+
     def ping(self) -> bool:
         """Round-trip a no-op through a worker (health probe).
 
@@ -295,12 +332,29 @@ class WorkerPool:
         return len(table)
 
     def close(self, wait: bool = True) -> None:
-        """Shut the pool down; further submissions raise."""
+        """Shut the pool down; further submissions raise.
+
+        Idempotent by contract: pools are closed from several owners
+        with different lifetimes — an explicit ``close()``, a context
+        manager ``__exit__``, :func:`close_pool` /
+        :func:`shutdown_pools`, and the interpreter-exit hook — and any
+        of them may fire after another already won.  A second close is
+        a strict no-op (it must not re-enter executor shutdown, whose
+        behaviour during interpreter teardown is exactly the fragility
+        this guard exists to remove).
+        """
         with self._lock:
-            if self._executor is not None:
-                self._executor.shutdown(wait=wait, cancel_futures=True)
-                self._executor = None
+            if self._closed:
+                return
             self._closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            try:
+                executor.shutdown(wait=wait, cancel_futures=True)
+            except Exception:
+                # Interpreter teardown can have reaped the executor's
+                # queues/threads already; the pool is closed either way.
+                pass
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -1,12 +1,70 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Also installs a per-test wall-clock timeout (SIGALRM-based, main
+thread only): the suite exercises watchdog/hang-recovery machinery on
+purpose-built hung workers, and a regression that reintroduces a real
+hang must fail tier-1 loudly instead of wedging CI until the job-level
+kill.  Override the budget with ``REPRO_TEST_TIMEOUT`` (seconds; ``0``
+disables) — the default is far above any legitimate test's runtime.
+"""
 
 from __future__ import annotations
+
+import os
+import signal
+import threading
 
 import pytest
 
 from repro.automata.pfa import PFA, Transition
 from repro.pcore.kernel import KernelConfig, PCoreKernel
 from repro.sim.memory import SharedMemory
+
+#: Seconds one test (setup + call + teardown) may take before it is
+#: interrupted.  Generous: the slowest legitimate tests (cold pool
+#: spawns under coverage) finish in well under a minute.
+_DEFAULT_TEST_TIMEOUT = 300.0
+
+
+def _test_timeout() -> float:
+    try:
+        return float(os.environ.get("REPRO_TEST_TIMEOUT", ""))
+    except ValueError:
+        return _DEFAULT_TEST_TIMEOUT
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_protocol(item, nextitem):
+    """Arm a SIGALRM watchdog around each test.
+
+    SIGALRM (not a watcher thread) so the hung test itself raises —
+    with a stack trace pointing at the hang — rather than being
+    reported dead from the outside.  Skipped off the main thread and on
+    platforms without SIGALRM, where the alarm cannot be delivered.
+    """
+    timeout = _test_timeout()
+    if (
+        timeout <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test {item.nodeid} exceeded the {timeout:.0f}s per-test "
+            "watchdog (REPRO_TEST_TIMEOUT to adjust); a wedged worker "
+            "pool or reintroduced hang is the usual culprit"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -91,6 +91,19 @@ class TestCiFloors:
             f"batched campaign dispatch regressed: {speedup}x < {floor}x"
         )
 
+    def test_faults_recovery_floor(self, report):
+        # Bit-identity of rows recovered under 10% injected worker
+        # kills is exact on any hardware; the overhead ratio needs
+        # real parallelism to measure recovery rather than contention.
+        assert report["faults"]["bit_identical"] is True
+        if report["faults"]["skipped_parallel_floor"]:
+            pytest.skip("single core: recovery ratio is contention noise")
+        overhead = report["faults"]["overhead"]
+        floor = report["criteria"]["faults_recovery_ci_floor"]
+        assert overhead <= floor, (
+            f"fault-recovery overhead regressed: {overhead}x > {floor}x"
+        )
+
     def test_warm_pool_floor(self, report):
         if report["pool"]["skipped_parallel_floor"]:
             pytest.skip("single-core machine: warm-pool ratio is noise")

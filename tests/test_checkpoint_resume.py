@@ -1,0 +1,277 @@
+"""Tests for crash-safe checkpoint/resume of adaptive campaigns.
+
+The contract under test: ``AdaptiveCampaign(checkpoint=path)`` persists
+each round's observation atomically, and ``resume=True`` replays the
+completed rounds through the refine policy — re-executing zero cells —
+then continues, producing results bit-identical to an uninterrupted
+run.  Tampered, mismatched or torn checkpoints are refused with
+:class:`~repro.errors.CheckpointError`, never silently misread.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import CheckpointError, ConfigError
+from repro.ptest.adaptive import AdaptiveCampaign, GridZoom, Repeat
+from repro.ptest.checkpoint import (
+    CHECKPOINT_VERSION,
+    CampaignCheckpoint,
+    campaign_fingerprint,
+)
+from repro.ptest.pipeline import parse_pipeline
+from repro.ptest.pool import shutdown_pools
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_pool_teardown():
+    shutdown_pools()
+    yield
+    shutdown_pools()
+
+
+def _campaign(policy, rounds=3, grid=False, **kwargs) -> AdaptiveCampaign:
+    campaign = AdaptiveCampaign(
+        seeds=(0, 1, 2), rounds=rounds, policy=policy, workers=2, **kwargs
+    )
+    if grid:
+        campaign.add_grid(
+            "phil",
+            "philosophers",
+            {"ordered": [False, True], "chunk": [1, 2]},
+            max_ticks=600,
+        )
+    else:
+        campaign.add_scenario("phil", "philosophers", ordered=False, max_ticks=600)
+    return campaign
+
+
+def _result_signature(result):
+    return [
+        (
+            obs.index,
+            sorted(obs.variants),
+            [
+                (row.variant, row.runs, row.detections, row.kinds)
+                for row in obs.rows
+            ],
+            {
+                name: tuple(s.seed for s in samples)
+                for name, samples in obs.detections.items()
+            },
+        )
+        for obs in result.rounds
+    ]
+
+
+class TestFingerprint:
+    def test_sensitive_to_identity_not_execution(self):
+        base = _campaign(Repeat())
+        fp = campaign_fingerprint(
+            base.seeds, base.variants, Repeat(), base.capture_per_variant
+        )
+        # Execution knobs are excluded by design: resume may change
+        # workers/batch/chaos without invalidating the checkpoint.
+        assert fp == campaign_fingerprint(
+            base.seeds, base.variants, Repeat(), base.capture_per_variant
+        )
+        assert fp != campaign_fingerprint(
+            (9, 10), base.variants, Repeat(), base.capture_per_variant
+        )
+        assert fp != campaign_fingerprint(
+            base.seeds, base.variants, GridZoom(), base.capture_per_variant
+        )
+
+    def test_pipeline_policies_have_stable_signatures(self):
+        one = parse_pipeline("grid_zoom:2,replay:1")
+        two = parse_pipeline("grid_zoom:2,replay:1")
+        first = campaign_fingerprint((0,), {}, one, 4)
+        assert first == campaign_fingerprint((0,), {}, two, 4)
+
+
+class TestResumeBitIdentity:
+    def test_resume_matches_straight_through(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        straight = _campaign(GridZoom(), grid=True).run()
+
+        # Interrupted run: only one round completes before the "crash".
+        _campaign(GridZoom(), rounds=1, grid=True, checkpoint=path).run()
+        assert path.exists()
+
+        resumed = _campaign(GridZoom(), grid=True, checkpoint=path, resume=True).run()
+        assert resumed.resumed_rounds == 1
+        assert _result_signature(resumed) == _result_signature(straight)
+        assert "resumed: 1 round(s) replayed" in resumed.describe()
+
+    def test_resume_rebuilds_pipeline_stage_state(self, tmp_path):
+        # PolicyPipeline keeps cross-round schedule state; replay must
+        # reconstruct it so the handoff round refines identically.
+        path = tmp_path / "pipeline.ckpt"
+        straight = _campaign(parse_pipeline("grid_zoom:2,replay:1"), grid=True).run()
+        _campaign(
+            parse_pipeline("grid_zoom:2,replay:1"),
+            rounds=2,
+            grid=True,
+            checkpoint=path,
+        ).run()
+        resumed = _campaign(
+            parse_pipeline("grid_zoom:2,replay:1"),
+            grid=True,
+            checkpoint=path,
+            resume=True,
+        ).run()
+        assert resumed.resumed_rounds == 2
+        assert _result_signature(resumed) == _result_signature(straight)
+
+    def test_finished_run_resumes_as_pure_replay(self, tmp_path):
+        path = tmp_path / "done.ckpt"
+        first = _campaign(Repeat(), checkpoint=path).run()
+        replayed = _campaign(Repeat(), checkpoint=path, resume=True).run()
+        assert replayed.resumed_rounds == len(first.rounds) == 3
+        assert _result_signature(replayed) == _result_signature(first)
+
+    def test_extending_rounds_continues_from_checkpoint(self, tmp_path):
+        path = tmp_path / "extend.ckpt"
+        _campaign(Repeat(), rounds=2, checkpoint=path).run()
+        extended = _campaign(Repeat(), rounds=4, checkpoint=path, resume=True).run()
+        assert extended.resumed_rounds == 2
+        assert [obs.index for obs in extended.rounds] == [0, 1, 2, 3]
+        assert _result_signature(extended) == _result_signature(
+            _campaign(Repeat(), rounds=4).run()
+        )
+
+    def test_resume_under_chaos_matches_clean_straight_through(
+        self, tmp_path
+    ):
+        # The full matrix corner: a checkpoint written under injected
+        # worker kills, resumed under the same chaos, must equal a
+        # clean uninterrupted run — chaos is an execution knob, not an
+        # identity change, so it is not fingerprinted either.
+        from repro.ptest.chaos import ChaosSpec
+
+        path = tmp_path / "chaos.ckpt"
+        straight = _campaign(Repeat()).run()
+        chaos = ChaosSpec(seed=3, kill_rate=0.15)
+        _campaign(
+            Repeat(),
+            rounds=1,
+            checkpoint=path,
+            chaos=chaos,
+            cell_timeout=60.0,
+        ).run()
+        resumed = _campaign(
+            Repeat(),
+            checkpoint=path,
+            resume=True,
+            chaos=chaos,
+            cell_timeout=60.0,
+        ).run()
+        assert resumed.resumed_rounds == 1
+        assert _result_signature(resumed) == _result_signature(straight)
+
+    def test_resume_may_change_execution_configuration(self, tmp_path):
+        # workers/batch_size are not fingerprinted: the determinism
+        # contract says they cannot change results.
+        path = tmp_path / "exec.ckpt"
+        _campaign(Repeat(), rounds=1, checkpoint=path).run()
+        resumed = AdaptiveCampaign(
+            seeds=(0, 1, 2),
+            rounds=3,
+            policy=Repeat(),
+            workers=1,
+            batch_size=1,
+            checkpoint=path,
+            resume=True,
+        )
+        resumed.add_scenario("phil", "philosophers", ordered=False, max_ticks=600)
+        result = resumed.run()
+        assert _result_signature(result) == _result_signature(_campaign(Repeat()).run())
+
+
+class TestCheckpointHygiene:
+    def test_save_is_atomic_no_temp_left_behind(self, tmp_path):
+        path = tmp_path / "atomic.ckpt"
+        _campaign(Repeat(), rounds=1, checkpoint=path).run()
+        leftovers = [p.name for p in tmp_path.iterdir()]
+        assert leftovers == ["atomic.ckpt"]
+
+    def test_stopped_early_is_persisted(self, tmp_path):
+        path = tmp_path / "early.ckpt"
+
+        class _StopNow:
+            def refine(self, observation):
+                return None
+
+            def describe(self):
+                return "stop-now"
+
+        campaign = _campaign(_StopNow(), checkpoint=path)
+        result = campaign.run()
+        assert result.stopped_early
+        payload = pickle.loads(path.read_bytes())
+        assert payload["stopped_early"] is True
+        assert payload["finished"] is True
+
+    def test_corrupt_checkpoint_refused(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_bytes(b"not a pickle at all")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            _campaign(Repeat(), checkpoint=path, resume=True).run()
+
+    def test_version_mismatch_refused(self, tmp_path):
+        path = tmp_path / "old.ckpt"
+        store = CampaignCheckpoint(path)
+        path.write_bytes(
+            pickle.dumps({"version": CHECKPOINT_VERSION + 1, "fingerprint": ""})
+        )
+        with pytest.raises(CheckpointError, match="version"):
+            store.load("anything")
+
+    def test_fingerprint_mismatch_refused(self, tmp_path):
+        path = tmp_path / "other.ckpt"
+        _campaign(Repeat(), rounds=1, checkpoint=path).run()
+        # Same checkpoint, different seeds: a different campaign.
+        other = AdaptiveCampaign(
+            seeds=(7, 8),
+            rounds=2,
+            policy=Repeat(),
+            workers=2,
+            checkpoint=path,
+            resume=True,
+        )
+        other.add_scenario("phil", "philosophers", ordered=False, max_ticks=600)
+        with pytest.raises(CheckpointError, match="different campaign"):
+            other.run()
+
+    def test_resume_without_checkpoint_is_config_error(self):
+        campaign = AdaptiveCampaign(seeds=(0,), rounds=1, policy=Repeat(), resume=True)
+        campaign.add_scenario("phil", "philosophers", ordered=False, max_ticks=600)
+        with pytest.raises(ConfigError, match="checkpoint"):
+            campaign.run()
+
+    def test_resume_with_no_checkpoint_yet_starts_fresh(self, tmp_path):
+        # First invocation of an always-pass-``--resume`` workflow:
+        # nothing on disk yet, so the run starts from round 0 and
+        # *creates* the checkpoint rather than refusing.
+        path = tmp_path / "first-run.ckpt"
+        result = _campaign(Repeat(), checkpoint=path, resume=True).run()
+        assert result.resumed_rounds == 0
+        assert len(result.rounds) == 3
+        assert path.exists()
+
+    def test_clear_removes_and_tolerates_missing(self, tmp_path):
+        path = tmp_path / "gone.ckpt"
+        store = CampaignCheckpoint(path)
+        store.save(
+            fingerprint="x",
+            observations=[],
+            prewarmed_refs=0,
+            stopped_early=False,
+            finished=False,
+        )
+        assert store.exists()
+        store.clear()
+        assert not store.exists()
+        store.clear()  # idempotent

@@ -96,3 +96,12 @@ def test_baseline_comparison():
     assert "pTest (adaptive, cyclic)" in output
     assert "ConTest-style random" in output
     assert "CHESS-lite systematic" in output
+
+
+def test_fault_tolerant_campaign():
+    output = run_example("fault_tolerant_campaign.py")
+    assert "deadlock hunt under chaos" in output
+    assert "quarantine: 1 of 6 cells (timeout=1); 5 completed" in output
+    assert "phil seed=3: timeout" in output
+    assert "deadlock detection(s)" in output
+    assert "bit-identical" in output

@@ -24,6 +24,7 @@ from repro.ptest.pool import (
     WorkerPool,
     active_pools,
     clear_worker_cache,
+    close_pool,
     get_pool,
     make_batch_table,
     run_table_batch,
@@ -219,6 +220,100 @@ class TestWorkerPoolLifecycle:
     def test_invalid_worker_count_rejected(self):
         with pytest.raises(ValueError, match="workers"):
             WorkerPool(0)
+
+
+class TestShutdownRobustness:
+    """Regressions for the multi-owner close story: explicit close,
+    context manager, close_pool/shutdown_pools and the atexit sweep can
+    all fire for the same pool, in any order — every combination must
+    be a strict no-op after the first."""
+
+    def test_double_close_is_idempotent(self):
+        pool = WorkerPool(2)
+        assert pool.ping()
+        pool.close()
+        pool.close()  # second close must not re-enter executor shutdown
+        assert pool.closed
+
+    def test_double_close_of_cold_pool(self):
+        pool = WorkerPool(2)
+        pool.close()
+        pool.close()
+        assert pool.closed and pool.spawns == 0
+
+    def test_shutdown_pools_after_explicit_close(self):
+        # The atexit-shaped sweep runs after an owner already closed
+        # the shared pool explicitly; it must tolerate that, twice.
+        pool = get_pool(2)
+        assert pool.ping()
+        pool.close()
+        shutdown_pools()
+        shutdown_pools()
+        assert pool.closed
+
+    def test_close_pool_then_shutdown_pools(self):
+        pool = get_pool(2)
+        assert pool.ping()
+        close_pool(2)
+        assert pool.closed
+        close_pool(2)  # deregistered: nothing left to close
+        shutdown_pools()
+
+    def test_terminate_kills_workers_and_respawns(self):
+        with WorkerPool(2) as pool:
+            assert pool.ping()
+            first = pool.pool_id
+            assert pool.terminate() >= 1
+            assert pool.ping()  # next use respawns transparently
+            assert pool.pool_id != first
+            assert pool.spawns == 2
+
+    def test_stale_terminate_is_a_no_op(self):
+        with WorkerPool(2) as pool:
+            assert pool.ping()
+            first = pool.pool_id
+            pool.terminate(first)
+            assert pool.ping()
+            fresh = pool.pool_id
+            # A second watchdog reporting the *old* executor hung must
+            # not kill the fresh one (mirrors notify_broken scoping).
+            assert pool.terminate(first) == 0
+            assert pool.pool_id == fresh
+
+    def test_terminate_on_cold_pool_is_zero(self):
+        with WorkerPool(2) as pool:
+            assert pool.terminate() == 0
+
+
+class TestPrewarmRespawnRace:
+    def test_prewarm_after_worker_death_respawns_then_runs(self):
+        # A worker died and nobody called notify_broken yet: prewarm's
+        # submissions hit the broken executor and must ride the
+        # submit-time respawn instead of wedging or surfacing the break.
+        ref = scenario_ref("clean_spin", tasks=2, total_steps=40)
+        with WorkerPool(2) as pool:
+            assert pool.ping()
+            with pytest.raises(BrokenProcessPool):
+                pool.submit(_exit_worker).result()
+            assert pool.prewarm([ref], wait=True) == 1
+            campaign = _spin_campaign(workers=2, pool=pool)
+            assert campaign.run()[0].runs == 3
+
+    def test_prewarm_concurrent_with_worker_death(self):
+        # Fire-and-forget prewarm racing an in-flight worker kill:
+        # whichever order the pool observes them in, the death must
+        # stay contained (prewarm is advisory) and the next campaign
+        # must run to completion on a respawned pool.
+        ref = scenario_ref("clean_spin", tasks=2, total_steps=40)
+        with WorkerPool(2) as pool:
+            assert pool.ping()
+            doomed = pool.submit(_exit_worker)
+            pool.prewarm([ref])
+            with pytest.raises(BrokenProcessPool):
+                doomed.result()
+            pool.notify_broken()
+            campaign = _spin_campaign(workers=2, pool=pool)
+            assert campaign.run()[0].runs == 3
 
 
 class TestLateRegistration:
