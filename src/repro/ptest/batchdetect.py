@@ -18,6 +18,13 @@ loop the same way :mod:`repro.automata.batch` batches sampling:
    handed to :func:`find_cycle_edges`, so the reported cycle is the
    very one the scalar sweep would have found, edge order included.
 
+:func:`screen_pending_pairs` applies the same discipline to Definition-2
+state: it consumes the recorder's *column* snapshots
+(:meth:`~repro.ptest.recording.ProcessStateRecorder.snapshot_columns`)
+directly — pair ids, SNs and remaining counts, never materialised
+records — and flags, across many runs at once, the pairs that ended
+mid-pattern.
+
 Without numpy (or under ``REPRO_NO_NUMPY``) the whole thing falls back
 to the per-snapshot scalar loop, bit-identically.
 """
@@ -122,6 +129,66 @@ def cycle_tids_batch(
         tuple(sorted({edge[0] for edge in cycle})) if cycle else None
         for cycle in find_cycles_batch(edge_sets, use_numpy=use_numpy)
     ]
+
+
+#: One run's recorder snapshot as parallel columns: ``(pair_ids,
+#: sequence_numbers, remaining_counts)`` — the exact shape
+#: :meth:`repro.ptest.recording.ProcessStateRecorder.snapshot_columns`
+#: returns.
+ColumnSnapshot = tuple[Sequence[int], Sequence[int], Sequence[int]]
+
+
+def screen_pending_pairs(
+    column_sets: Sequence[ColumnSnapshot],
+    *,
+    use_numpy: bool | None = None,
+) -> list[tuple[int, ...]]:
+    """Per-run pair ids whose pattern has symbols left — for many runs'
+    recorded columns at once.
+
+    The Definition-2 analogue of the deadlock screen's "who can still
+    be stuck" question: a pair whose ``remaining_count`` is non-zero
+    ended the run mid-pattern, so when a campaign-scale audit asks
+    which runs wedged and *where*, this flattens every run's recorder
+    columns (no :class:`~repro.ptest.recording.StateRecord` objects, no
+    symbol tuples) into one table and answers vectorized.  The scalar
+    loop is the reference; the numpy path only changes speed, never the
+    answer.
+    """
+    np = _resolve_numpy(use_numpy, "screen_pending_pairs(use_numpy=True)")
+    if np is None:
+        return [
+            tuple(
+                pair_id
+                for pair_id, count in zip(pair_ids, remaining)
+                if count > 0
+            )
+            for pair_ids, _sns, remaining in column_sets
+        ]
+    counts = np.fromiter(
+        (len(columns[0]) for columns in column_sets),
+        dtype=np.int64,
+        count=len(column_sets),
+    )
+    total = int(counts.sum())
+    if total == 0:
+        return [() for _ in column_sets]
+    flat_pairs = np.concatenate(
+        [np.asarray(columns[0], dtype=np.int64) for columns in column_sets]
+    )
+    flat_remaining = np.concatenate(
+        [np.asarray(columns[2], dtype=np.int64) for columns in column_sets]
+    )
+    run_of_pair = np.repeat(
+        np.arange(len(column_sets), dtype=np.int64), counts
+    )
+    pending = flat_remaining > 0
+    out: list[list[int]] = [[] for _ in column_sets]
+    for run, pair_id in zip(
+        run_of_pair[pending].tolist(), flat_pairs[pending].tolist()
+    ):
+        out[run].append(pair_id)
+    return [tuple(pairs) for pairs in out]
 
 
 @dataclass

@@ -231,6 +231,10 @@ class Campaign:
     #: :class:`~repro.ptest.executor.CellExecutor`; rows are identical
     #: at every setting.
     batch_sampling: bool | None = None
+    #: Worker-side batched merging for same-variant cell groups —
+    #: forwarded to :class:`~repro.ptest.executor.CellExecutor`; rows
+    #: are identical at every setting.
+    merge_batch: bool | None = None
     keep_results: bool = True
     #: Per-cell watchdog deadline in seconds — forwarded to
     #: :class:`~repro.ptest.executor.CellExecutor`; hung pool batches
@@ -328,6 +332,7 @@ class Campaign:
             ),
             pool=self.pool,
             batch_sampling=self.batch_sampling,
+            merge_batch=self.merge_batch,
             cell_timeout=self.cell_timeout,
             quarantine=self.quarantine,
             chaos=self.chaos,

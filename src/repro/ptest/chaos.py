@@ -174,6 +174,7 @@ def run_chaos_batch(
     table: Sequence["ScenarioBuilder"],
     jobs: Sequence[tuple[int, int]],
     batch_sampling: bool | None = None,
+    merge_batch: bool | None = None,
 ) -> list["TestRunResult"]:
     """Worker-side entry point: inject, then run the batch normally.
 
@@ -206,4 +207,4 @@ def run_chaos_batch(
                     f"chaos poison cell seed={seed} (injected, not a "
                     "workload bug)"
                 )
-    return run_table_batch(table, jobs, batch_sampling)
+    return run_table_batch(table, jobs, batch_sampling, merge_batch)

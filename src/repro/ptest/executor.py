@@ -277,6 +277,15 @@ class CellExecutor:
         path (``workers=1``) always samples scalar: each cell builds
         its own generator in-process, and there is no batch to share a
         sampler across.
+    merge_batch:
+        Worker-side batched merging for the same same-variant groups
+        (rides on a sampling plan, so ``batch_sampling=False`` disables
+        it too): each group's rounds are merged in one
+        :meth:`~repro.ptest.merger.PatternMerger.merge_batch` call,
+        every cell under its own derived merger seed.  Same three-state
+        knob and the same correctness bar: ``None`` auto-detects numpy,
+        ``True`` demands it up front, ``False`` keeps per-cell merging;
+        campaign rows are bit-identical at every setting.
     cell_timeout:
         Watchdog deadline in seconds *per cell*: a pool batch gets
         ``cell_timeout × len(batch)`` of wall clock before its workers
@@ -312,6 +321,7 @@ class CellExecutor:
     batch_size: int | None = None
     pool: "WorkerPool | None" = None
     batch_sampling: bool | None = None
+    merge_batch: bool | None = None
     cell_timeout: float | None = None
     quarantine: bool = False
     chaos: "ChaosSpec | None" = None
@@ -363,13 +373,16 @@ class CellExecutor:
             raise ValueError(
                 f"cell_timeout must be > 0, got {self.cell_timeout}"
             )
-        if self.batch_sampling is True:
+        if self.batch_sampling is True or self.merge_batch is True:
             # Fail the explicit request here, in the parent, with a
             # ConfigError naming the fix — not an ImportError (or the
             # worker-side backstop) deep inside a pool process.
             from repro.automata.batch import require_numpy
 
-            require_numpy("CellExecutor(batch_sampling=True)")
+            if self.batch_sampling is True:
+                require_numpy("CellExecutor(batch_sampling=True)")
+            if self.merge_batch is True:
+                require_numpy("CellExecutor(merge_batch=True)")
         self.last_batch_size = None
         self.batches_submitted = 0
         self.last_pool_id = None
@@ -572,10 +585,15 @@ class CellExecutor:
                     table,
                     jobs,
                     self.batch_sampling,
+                    self.merge_batch,
                 )
             else:
                 future, pool_id = pool.submit_tagged(
-                    run_table_batch, table, jobs, self.batch_sampling
+                    run_table_batch,
+                    table,
+                    jobs,
+                    self.batch_sampling,
+                    self.merge_batch,
                 )
             # Refresh on every submission: submit_tagged respawns a
             # broken pool silently, and telemetry must name the pool

@@ -32,7 +32,8 @@ from repro.automata.pfa import PFA, build_pfa
 from repro.automata.regex_parser import parse_regex
 from repro.automata.sampling import OnFinal, PatternSampler, SampledPattern
 from repro.errors import ConfigError, DistributionError
-from repro.ptest.patterns import TestPattern
+from repro.ptest.merger import PatternMerger
+from repro.ptest.patterns import MergedPattern, TestPattern
 
 
 def resolve_label_distribution(
@@ -310,3 +311,141 @@ class BatchPatternStream:
 
     def accepts(self, symbols: tuple[str, ...] | list[str]) -> bool:
         return self.pfa.walk_probability(tuple(symbols)) > 0.0
+
+
+@dataclass
+class SharedMergeBatch:
+    """Cross-cell merge dispatch layered on a :class:`SharedPatternBatch`.
+
+    One batch of same-variant campaign cells already shares a lockstep
+    sampler; this extends the sharing one stage further down the array
+    plane: each *round*, every cell's ``pattern_count`` patterns are
+    drawn from the shared sampler (through the cells' own
+    :class:`BatchPatternStream` views, preserving per-cell draw order)
+    and all cells' groups are merged in **one**
+    :meth:`~repro.ptest.merger.PatternMerger.merge_batch` call, each
+    group under the merger seed that cell's harness derives from its
+    own master seed.  Merges are pure functions of
+    ``(op, seed, chunk, patterns)`` — every merge starts a fresh
+    ``random.Random(seed)`` — so the queued results are bit-identical
+    to the per-cell ``PatternMerger.merge`` calls they replace, no
+    matter how the cells interleave their consumption.
+
+    Like the sampler underneath, cells run sequentially inside the
+    worker, so per-cell results are staged in FIFOs: whenever any cell
+    needs a round no advance has produced yet, one batched round is
+    drawn and merged for *every* cell.
+    """
+
+    shared: SharedPatternBatch
+    #: Per-cell merger seeds (the ``fresh_seed("merger")`` each cell's
+    #: harness derives); aligned with the sampler's cells.
+    merger_seeds: Sequence[int | None]
+    op: str
+    chunk: int
+    pattern_count: int
+    merger: PatternMerger = field(init=False, repr=False)
+    _streams: list["BatchPatternStream"] = field(init=False, repr=False)
+    _queues: list[deque] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.pattern_count < 1:
+            raise ConfigError(
+                f"pattern count must be >= 1, got {self.pattern_count}"
+            )
+        if len(self.merger_seeds) != self.shared.cells:
+            raise ConfigError(
+                f"shared sampler has {self.shared.cells} cells but "
+                f"{len(self.merger_seeds)} merger seeds were given"
+            )
+        # The seed is overridden per group at merge time.
+        self.merger = PatternMerger(op=self.op, chunk=self.chunk)
+        self._streams = [
+            self.shared.stream(cell) for cell in range(self.shared.cells)
+        ]
+        self._queues = [deque() for _ in self.merger_seeds]
+
+    @property
+    def cells(self) -> int:
+        return self.shared.cells
+
+    def prime(self, rounds: int) -> None:
+        """Pre-draw and pre-merge ``rounds`` rounds per cell before any
+        cell starts running (the batch planner primes one)."""
+        for _ in range(rounds):
+            self._advance()
+
+    def _advance(self) -> None:
+        groups = [
+            stream.generate_batch(self.pattern_count, self.shared.size)
+            for stream in self._streams
+        ]
+        merges = self.merger.merge_batch(groups, seeds=self.merger_seeds)
+        for queue, merged in zip(self._queues, merges):
+            queue.append(merged)
+
+    def next_merged(self, cell: int) -> MergedPattern:
+        """Cell ``cell``'s next round's merged pattern (sources
+        included, exactly as the cell's own generate+merge would)."""
+        queue = self._queues[cell]
+        if not queue:
+            self._advance()
+        return queue.popleft()
+
+    def stream(self, cell: int) -> "BatchMergeStream":
+        """Cell ``cell``'s harness-facing view of this batch."""
+        return BatchMergeStream(shared=self, cell=cell)
+
+
+@dataclass
+class BatchMergeStream:
+    """One cell's view of a :class:`SharedMergeBatch` — the
+    ``merge_override`` the worker batch dispatch hands an
+    :class:`~repro.ptest.harness.AdaptiveTest`.
+
+    :meth:`matches` is the harness-side guard, the merge analogue of
+    :meth:`BatchPatternStream.matches`: the stream substitutes for the
+    cell's generate+merge only when it provably reproduces them bit for
+    bit — same compiled automaton (object identity), same generator
+    seed, same merger seed/op/chunk, same round shape.
+    """
+
+    shared: SharedMergeBatch
+    cell: int
+    #: Rounds this cell has consumed (observability, like
+    #: ``BatchPatternStream.generated``).
+    rounds: int = 0
+
+    @property
+    def generator_seed(self) -> int | None:
+        return self.shared.shared.seeds[self.cell]
+
+    @property
+    def merger_seed(self) -> int | None:
+        return self.shared.merger_seeds[self.cell]
+
+    def matches(
+        self,
+        pfa: PFA | CompiledPFA | None,
+        generator_seed: int | None,
+        merger: PatternMerger,
+        pattern_count: int,
+        pattern_size: int,
+    ) -> bool:
+        """Whether this stream reproduces ``generator.generate_batch``
+        + ``merger.merge`` for the run that would use ``pfa``,
+        ``generator_seed`` and ``merger`` — every parameter that feeds
+        the merge must agree before substitution is allowed."""
+        return (
+            pfa is self.shared.shared.sampler.compiled
+            and generator_seed == self.generator_seed
+            and merger.seed == self.merger_seed
+            and merger.op == self.shared.op
+            and merger.chunk == self.shared.chunk
+            and pattern_count == self.shared.pattern_count
+            and pattern_size == self.shared.shared.size
+        )
+
+    def next_merged(self) -> MergedPattern:
+        self.rounds += 1
+        return self.shared.next_merged(self.cell)

@@ -52,7 +52,7 @@ is set), proven equal op-by-op in ``tests/test_merge_batch.py``.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Protocol, Sequence
 
 from repro.automata.batch import numpy_or_none, require_numpy
@@ -400,7 +400,9 @@ class PatternMerger:
         )
 
     def merge_batch(
-        self, pattern_groups: Sequence[Sequence[TestPattern]]
+        self,
+        pattern_groups: Sequence[Sequence[TestPattern]],
+        seeds: Sequence[int | None] | None = None,
     ) -> list[MergedPattern]:
         """Merge many cells' pattern groups in one call.
 
@@ -411,8 +413,24 @@ class PatternMerger:
         ``SharedPatternBatch``'s cells to: sampled id arrays flow in,
         array-backed merges flow out, and nothing in between
         materialises a per-symbol Python object.
+
+        ``seeds`` (when given) overrides the merge seed *per group* —
+        how the worker-side cross-cell dispatch merges many campaign
+        cells' rounds at once, each under the merger seed that cell's
+        own harness would have derived.  Group *i* then merges exactly
+        as ``replace(self, seed=seeds[i]).merge(group)`` would.
         """
-        return [self.merge(list(group)) for group in pattern_groups]
+        if seeds is None:
+            return [self.merge(list(group)) for group in pattern_groups]
+        if len(seeds) != len(pattern_groups):
+            raise ConfigError(
+                f"merge_batch got {len(pattern_groups)} groups but "
+                f"{len(seeds)} seeds"
+            )
+        return [
+            replace(self, seed=seed).merge(list(group))
+            for group, seed in zip(pattern_groups, seeds)
+        ]
 
     def merge_symbols(
         self, symbol_lists: Sequence[Sequence[str]]

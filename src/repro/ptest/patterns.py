@@ -301,6 +301,36 @@ class MergedPattern:
         return merged
 
     @property
+    def pattern_ids(self) -> Any:
+        """Source-pattern id per merge position (``None`` when eager).
+
+        Together with :attr:`sequences`/:attr:`symbol_ids` this is the
+        zero-copy column view of the interleaving — what the committer
+        walks by cursor and the recorder indexes into, so executing an
+        array-built merge never expands :attr:`commands`."""
+        return self._pattern_ids
+
+    @property
+    def sequences(self) -> Any:
+        """1-based within-pattern sequence number per merge position
+        (``None`` when eager) — Definition 2's SN column."""
+        return self._sequences
+
+    @property
+    def symbol_ids(self) -> Any:
+        """Interned symbol id per merge position (``None`` when eager);
+        ids index :attr:`alphabet`."""
+        return self._symbol_ids
+
+    @property
+    def alphabet(self) -> tuple[str, ...] | None:
+        """The id table :attr:`symbol_ids` indexes (``None`` when
+        eager).  Shared by identity with the source patterns' alphabet
+        on the batch-sampling plane, so one symbol→service binding
+        serves every merge over the same automaton."""
+        return self._alphabet
+
+    @property
     def commands(self) -> list[PatternCommand]:
         value = self._commands
         if value is None:

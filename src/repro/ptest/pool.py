@@ -538,6 +538,7 @@ def run_table_batch(
     table: Sequence["ScenarioBuilder"],
     jobs: Sequence[tuple[int, int]],
     batch_sampling: bool | None = None,
+    merge_batch: bool | None = None,
 ) -> list["TestRunResult"]:
     """Worker-side entry point: run one batch table's jobs, in order.
 
@@ -557,12 +558,17 @@ def run_table_batch(
     ``None`` auto-detects numpy, ``True`` demands it
     (:class:`~repro.errors.ConfigError` when unavailable — the
     parent-side executor raises the same error earlier), ``False``
-    forces the scalar path.  Results are bit-identical either way.
+    forces the scalar path.  ``merge_batch`` extends a planned group
+    one stage further: the group's rounds are merged as one
+    :meth:`~repro.ptest.merger.PatternMerger.merge_batch` call, each
+    cell under its own derived merger seed (same three-state knob;
+    merge batching rides on a sampling plan, so ``batch_sampling=False``
+    disables it too).  Results are bit-identical at every setting.
     """
     from repro.ptest.replay import ReplayRef
     from repro.workloads.registry import ScenarioRef
 
-    plans = _plan_batch_sampling(table, jobs, batch_sampling)
+    plans = _plan_batch_sampling(table, jobs, batch_sampling, merge_batch)
     results = []
     for job_index, (position, seed) in enumerate(jobs):
         builder = table[position]
@@ -584,12 +590,17 @@ class _BatchPlan:
     entry: "_CacheEntry"
     shared: Any  # SharedPatternBatch
     first_test: Any  # the AdaptiveTest already built for the first job
+    #: The group's :class:`~repro.ptest.generator.SharedMergeBatch`
+    #: when worker-side merge batching is on (``None``: cells merge
+    #: their own rounds, the plan only shares sampling).
+    merges: Any = None
 
 
 def _plan_batch_sampling(
     table: Sequence["ScenarioBuilder"],
     jobs: Sequence[tuple[int, int]],
     batch_sampling: bool | None,
+    merge_batch: bool | None = None,
 ) -> dict[int, tuple[_BatchPlan, int]]:
     """Group a batch's jobs for vectorized pattern sampling.
 
@@ -598,8 +609,12 @@ def _plan_batch_sampling(
     :class:`~repro.ptest.generator.SharedPatternBatch` walking the
     variant's cached compiled automaton with one lockstep column per
     cell, seeded with the exact generator seed each cell's harness
-    will derive.  Returns ``{job_index: (plan, cell_column)}`` for the
-    planned jobs; everything unplanned runs the scalar path.
+    will derive.  With ``merge_batch`` on (or auto with numpy), the
+    plan also carries a :class:`~repro.ptest.generator.SharedMergeBatch`
+    so the group's rounds are merged in one batched call, each cell
+    under the merger seed its harness derives.  Returns
+    ``{job_index: (plan, cell_column)}`` for the planned jobs;
+    everything unplanned runs the scalar path.
 
     Strictly advisory: any group that cannot be planned — regex-pipeline
     scenarios with no explicit PFA, subclassed harnesses, overridden
@@ -610,9 +625,14 @@ def _plan_batch_sampling(
         return {}
     from repro.automata.batch import numpy_or_none, require_numpy
 
+    if merge_batch is True:
+        # Worker-side backstops; CellExecutor raises these same
+        # ConfigErrors parent-side before any batch is submitted.
+        # The merge check runs before the auto-sampling early-out: an
+        # *explicit* merge_batch=True must fail loudly without numpy,
+        # never silently degrade with the auto-detected sampling path.
+        require_numpy("run_table_batch(merge_batch=True)")
     if batch_sampling is True:
-        # Worker-side backstop; CellExecutor raises this same
-        # ConfigError parent-side before any batch is submitted.
         require_numpy("run_table_batch(batch_sampling=True)")
     elif numpy_or_none() is None:
         return {}
@@ -629,7 +649,9 @@ def _plan_batch_sampling(
             continue
         try:
             plan = _build_batch_plan(
-                table[position], [jobs[index][1] for index in members]
+                table[position],
+                [jobs[index][1] for index in members],
+                merge_batch,
             )
         except Exception:
             continue  # scalar fallback; results identical either way
@@ -641,7 +663,9 @@ def _plan_batch_sampling(
 
 
 def _build_batch_plan(
-    ref: "ScenarioRef", seeds: Sequence[int]
+    ref: "ScenarioRef",
+    seeds: Sequence[int],
+    merge_batch: bool | None = None,
 ) -> _BatchPlan | None:
     """Build one group's shared sampler, or ``None`` if not batchable.
 
@@ -652,9 +676,14 @@ def _build_batch_plan(
     with each cell's derived generator seed — the same
     ``RngStreams(master_seed=seed).fresh_seed("generator")`` the
     harness draws — and primed with the first round's pattern count.
+    Unless ``merge_batch`` is ``False``, the plan is extended with a
+    :class:`~repro.ptest.generator.SharedMergeBatch` seeded with each
+    cell's derived *merger* seed (``fresh_seed("merger")`` — seeds are
+    pure hashes, so deriving them here matches the harness's own
+    draws), and one round is pre-merged instead of pre-sampled.
     """
     from repro.automata.batch import packed_rows
-    from repro.ptest.generator import SharedPatternBatch
+    from repro.ptest.generator import SharedMergeBatch, SharedPatternBatch
     from repro.sim.rng import RngStreams
 
     entry = _cache_entry(ref.cache_key, lambda: _resolved_entry(ref))
@@ -668,6 +697,7 @@ def _build_batch_plan(
     if (
         first_test.merged_override is not None
         or first_test.generator_override is not None
+        or first_test.merge_override is not None
     ):
         return None
     _prime_compiled_pfa(first_test, entry)
@@ -686,8 +716,25 @@ def _build_batch_plan(
     )
     if shared.sampler.used_numpy:
         entry.packed = packed_rows(compiled)
-    shared.prime(config.pattern_count)
-    return _BatchPlan(entry=entry, shared=shared, first_test=first_test)
+    merges = None
+    if merge_batch is not False:
+        merger_seeds = [
+            RngStreams(master_seed=seed).fresh_seed("merger")
+            for seed in seeds
+        ]
+        merges = SharedMergeBatch(
+            shared=shared,
+            merger_seeds=merger_seeds,
+            op=config.op,
+            chunk=config.chunk,
+            pattern_count=config.pattern_count,
+        )
+        merges.prime(1)
+    else:
+        shared.prime(config.pattern_count)
+    return _BatchPlan(
+        entry=entry, shared=shared, first_test=first_test, merges=merges
+    )
 
 
 #: Seed used to build the throwaway test instance a prewarm compiles
@@ -824,7 +871,13 @@ def _run_cached_ref(
     else:
         test = entry.builder(seed, **entry.params)
         _prime_compiled_pfa(test, entry)
-    test.generator_override = plan.shared.stream(cell)
+    # Exactly one override per cell: the merge stream consumes the
+    # shared sampler itself, so also attaching a generator stream would
+    # double-consume the cell's column.
+    if plan.merges is not None:
+        test.merge_override = plan.merges.stream(cell)
+    else:
+        test.generator_override = plan.shared.stream(cell)
     return test.run()
 
 

@@ -13,27 +13,165 @@ A record is the five-tuple ``(qm, qs, TP, SN, delta_S)``:
 The recorder keeps one live record per master-thread/slave-task pair
 (the paper assumes a one-to-one correspondence) and snapshots them for
 bug reports — exactly the Fig. 4 presentation.
+
+Column-backed records
+---------------------
+
+On the array plane a pair's :class:`~repro.ptest.patterns.TestPattern`
+is a lazy view over interned id arrays, and a :class:`StateRecord` is
+column-backed to match: :meth:`StateRecord.from_pattern` (what
+:meth:`ProcessStateRecorder.record` builds) stores only the source
+pattern and SN — TP is the pattern's id row and delta-S is the offset
+``SN`` into it — and materialises the ``pattern``/``remaining`` symbol
+tuples lazily, on first read.  Snapshotting therefore costs O(pairs)
+regardless of pattern size and never forces a lazy pattern's tuples;
+only rendering a :class:`~repro.ptest.report.BugReport` (``describe``,
+``to_dict``, pickling across the pool boundary) materialises them.
+Eagerly-constructed records (the classic keyword form) are unchanged
+and compare equal to lazy ones over the same values.
+
+:meth:`ProcessStateRecorder.snapshot_columns` exposes the same data as
+parallel columns (pair ids, SNs, remaining counts) for batched
+screening — :func:`repro.ptest.batchdetect.screen_pending_pairs`
+consumes it directly, no records or tuples in between.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import FrozenInstanceError, dataclass, field
+from typing import Any
 
 from repro.errors import DetectorError
 from repro.pcore.tcb import TaskState
 from repro.ptest.patterns import TestPattern
 
 
-@dataclass(frozen=True)
 class StateRecord:
-    """One CP record (Fig. 4)."""
+    """One CP record (Fig. 4).
 
-    pair_id: int
-    master_state: str
-    slave_state: str
-    pattern: tuple[str, ...]
-    sequence_number: int
-    remaining: tuple[str, ...]
+    A hand-rolled frozen ``__slots__`` type (same surface as the former
+    frozen dataclass: keyword/positional construction, ``eq``/``hash``/
+    ``repr``, :class:`dataclasses.FrozenInstanceError` on assignment)
+    so the :meth:`from_pattern` form can defer the ``pattern`` and
+    ``remaining`` tuples behind the public fields.
+    """
+
+    __slots__ = (
+        "pair_id",
+        "master_state",
+        "slave_state",
+        "sequence_number",
+        "_pattern",
+        "_remaining",
+        "_source",
+    )
+
+    def __init__(
+        self,
+        pair_id: int,
+        master_state: str,
+        slave_state: str,
+        pattern: tuple[str, ...],
+        sequence_number: int,
+        remaining: tuple[str, ...],
+    ) -> None:
+        fill = object.__setattr__
+        fill(self, "pair_id", pair_id)
+        fill(self, "master_state", master_state)
+        fill(self, "slave_state", slave_state)
+        fill(self, "sequence_number", sequence_number)
+        fill(self, "_pattern", pattern)
+        fill(self, "_remaining", remaining)
+        fill(self, "_source", None)
+
+    @classmethod
+    def from_pattern(
+        cls,
+        pair_id: int,
+        master_state: str,
+        slave_state: str,
+        source: TestPattern,
+        sequence_number: int,
+    ) -> "StateRecord":
+        """Column-backed construction: TP/delta-S are ``source``'s id
+        row and the offset ``sequence_number`` into it; the symbol
+        tuples materialise only when read (a bug report rendering)."""
+        record = object.__new__(cls)
+        fill = object.__setattr__
+        fill(record, "pair_id", pair_id)
+        fill(record, "master_state", master_state)
+        fill(record, "slave_state", slave_state)
+        fill(record, "sequence_number", sequence_number)
+        fill(record, "_pattern", None)
+        fill(record, "_remaining", None)
+        fill(record, "_source", source)
+        return record
+
+    @property
+    def pattern(self) -> tuple[str, ...]:
+        value = self._pattern
+        if value is None:
+            value = self._source.symbols
+            object.__setattr__(self, "_pattern", value)
+        return value
+
+    @property
+    def remaining(self) -> tuple[str, ...]:
+        value = self._remaining
+        if value is None:
+            value = self._source.subsequence_after(self.sequence_number)
+            object.__setattr__(self, "_remaining", value)
+        return value
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise FrozenInstanceError(f"cannot assign to field {name!r}")
+
+    def __delattr__(self, name: str) -> None:
+        raise FrozenInstanceError(f"cannot delete field {name!r}")
+
+    def _astuple(self) -> tuple:
+        return (
+            self.pair_id,
+            self.master_state,
+            self.slave_state,
+            self.pattern,
+            self.sequence_number,
+            self.remaining,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not StateRecord:
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __hash__(self) -> int:
+        return hash(self._astuple())
+
+    def __repr__(self) -> str:
+        return (
+            f"StateRecord(pair_id={self.pair_id!r}, "
+            f"master_state={self.master_state!r}, "
+            f"slave_state={self.slave_state!r}, "
+            f"pattern={self.pattern!r}, "
+            f"sequence_number={self.sequence_number!r}, "
+            f"remaining={self.remaining!r})"
+        )
+
+    def __getstate__(self) -> tuple:
+        # Records cross the pool boundary inside bug reports:
+        # materialise so the wire format stays numpy-free and identical
+        # to the historical eager dataclass pickles.
+        return (
+            self.pair_id,
+            self.master_state,
+            self.slave_state,
+            self.pattern,
+            self.sequence_number,
+            self.remaining,
+        )
+
+    def __setstate__(self, state: tuple) -> None:
+        self.__init__(*state)
 
     def describe(self) -> str:
         """Render in the paper's notation, e.g.
@@ -98,22 +236,44 @@ class ProcessStateRecorder:
         return self._tracking(pair_id).slave_tid
 
     def record(self, pair_id: int) -> StateRecord:
-        """Snapshot the pair's current five-tuple."""
+        """Snapshot the pair's current five-tuple — column-backed: the
+        record keeps the pattern and SN, not materialised tuples, so
+        snapshotting never forces a lazy pattern's symbols."""
         tracking = self._tracking(pair_id)
-        issued = tracking.issued
-        return StateRecord(
+        return StateRecord.from_pattern(
             pair_id=pair_id,
             master_state=tracking.master_state,
             slave_state=tracking.slave_state,
-            pattern=tracking.pattern.symbols,
-            sequence_number=issued,
-            remaining=tracking.pattern.subsequence_after(issued),
+            source=tracking.pattern,
+            sequence_number=tracking.issued,
         )
 
     def snapshot(self) -> list[StateRecord]:
         """Records for every pair, ordered by pair id (the bug-report
         dump)."""
         return [self.record(pair_id) for pair_id in self.pairs()]
+
+    def snapshot_columns(
+        self,
+    ) -> tuple[list[int], list[int], list[int]]:
+        """The snapshot as parallel ``(pair_ids, sequence_numbers,
+        remaining_counts)`` columns, ordered by pair id.
+
+        O(pairs) with no record objects and no symbol tuples — the
+        remaining count is ``len(pattern) - SN`` straight off the
+        pattern's O(1) length.  This is what the batched screen of
+        :func:`repro.ptest.batchdetect.screen_pending_pairs` consumes.
+        """
+        pair_ids: list[int] = []
+        sequence_numbers: list[int] = []
+        remaining_counts: list[int] = []
+        for pair_id in self.pairs():
+            tracking = self._pairs[pair_id]
+            issued = tracking.issued
+            pair_ids.append(pair_id)
+            sequence_numbers.append(issued)
+            remaining_counts.append(max(0, len(tracking.pattern) - issued))
+        return pair_ids, sequence_numbers, remaining_counts
 
     def _tracking(self, pair_id: int) -> _PairTracking:
         try:
