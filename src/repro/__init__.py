@@ -10,10 +10,24 @@ calls for.
 
 Quick start::
 
-    from repro.ptest import PTestConfig, run_adaptive_test
+    from repro import CampaignSpec, execute_spec
 
-    result = run_adaptive_test(PTestConfig(pattern_count=4, pattern_size=8))
-    print(result.summary())
+    spec = CampaignSpec(scenario="philosophers", seeds=(0, 1, 2))
+    outcome = execute_spec(spec)
+    print(outcome.total_detections)
+
+The names in ``__all__`` below are the supported embedding API: the
+campaign entry points (:class:`Campaign`, :class:`AdaptiveCampaign`),
+the serializable request schema (:class:`CampaignSpec`,
+:func:`execute_spec`), the scenario registry surface
+(:func:`scenario`, :class:`ScenarioRef`, :func:`scenario_ref`), the
+client for a running ``repro serve`` (:class:`Client`), and the error
+root (:class:`ReproError`).  Everything else should be imported from
+its subpackage and may move between releases.
+
+Imports are lazy (PEP 562): ``import repro`` itself stays cheap — the
+campaign machinery, worker pools and simulator only load when the
+first attribute is touched.
 
 Subpackages: :mod:`repro.automata` (regex -> NFA -> PFA pipeline),
 :mod:`repro.sim` (the SoC), :mod:`repro.pcore` (the slave kernel),
@@ -22,8 +36,41 @@ tool), :mod:`repro.baselines`, :mod:`repro.workloads`,
 :mod:`repro.faults`, :mod:`repro.analysis`.
 """
 
-from repro.errors import ReproError
-
 __version__ = "0.1.0"
 
-__all__ = ["ReproError", "__version__"]
+# Supported API name -> home module.  Resolved on first attribute
+# access so `import repro` pulls in nothing beyond this file.
+_EXPORTS = {
+    "ReproError": "repro.errors",
+    "Campaign": "repro.ptest.campaign",
+    "AdaptiveCampaign": "repro.ptest.adaptive",
+    "CampaignSpec": "repro.ptest.spec",
+    "RoundResult": "repro.ptest.spec",
+    "SpecOutcome": "repro.ptest.spec",
+    "execute_spec": "repro.ptest.spec",
+    "Client": "repro.client",
+    "RemoteOutcome": "repro.client",
+    "ServerError": "repro.client",
+    "scenario": "repro.workloads.registry",
+    "ScenarioRef": "repro.workloads.registry",
+    "scenario_ref": "repro.workloads.registry",
+    "PTestConfig": "repro.ptest.config",
+    "run_adaptive_test": "repro.ptest.harness",
+}
+
+__all__ = ["__version__", *sorted(_EXPORTS)]
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -13,7 +13,18 @@ Python:
                    warm worker pool and a refine policy (grid_zoom,
                    halving, replay, repeat) steers each next round's
                    variants from the previous round's detections
+``serve``          long-running campaign server: many concurrent
+                   requests multiplexed onto shared warm pools over a
+                   newline-JSON socket protocol
+``submit``         send one campaign/adapt spec to a running server
+                   via :class:`repro.client.Client`
 ``scenarios``      list the scenario registry with parameter specs
+
+``run``/``campaign``/``adapt`` all parse into one serializable
+:class:`~repro.ptest.spec.CampaignSpec` and dispatch through
+:func:`~repro.ptest.spec.execute_spec` — the same schema ``serve``
+accepts on the wire (``campaign --spec file.json`` loads one,
+``--dump-spec`` writes one without running).
 
 Exit codes: 0 success, 1 a bug was found (``run`` and friends), 2
 configuration error, 3 execution-fabric failure (a campaign's worker
@@ -41,7 +52,7 @@ from repro.ptest.config import PTestConfig
 from repro.ptest.harness import run_adaptive_test
 from repro.ptest.merger import MERGE_OPS
 from repro.workloads.fig1 import run_fig1
-from repro.workloads.registry import REGISTRY, build_scenario
+from repro.workloads.registry import REGISTRY
 from repro.workloads.scenarios import philosophers_case2, stress_case1
 
 
@@ -85,17 +96,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "(see `repro scenarios`)"
             )
             return 2
+        from repro.ptest.spec import CampaignSpec, execute_spec
+
         try:
-            test = build_scenario(
-                args.scenario, args.seed, **_parse_params(args.param)
+            spec = CampaignSpec(
+                scenario=args.scenario,
+                mode="run",
+                params=tuple(_parse_params(args.param).items()),
+                seeds=(args.seed,),
             )
+            outcome = execute_spec(spec)
         except ReproError as error:
             # Unknown scenario, bad param, or a builder rejecting an
             # out-of-range value — never exit 1 (that means "bug found").
             print(error)
             return 2
         print(f"scenario: {args.scenario} seed={args.seed}")
-        return _print_result(test.run())
+        return _print_result(outcome.run_result)
     if args.param:
         print("--param requires a scenario name (see `repro scenarios`)")
         return 2
@@ -117,13 +134,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _executor_failure(error: BaseException, quarantine_flag: bool) -> int:
     """One-line diagnosis (never a traceback) for a dead or hung
     execution fabric: exit 3, distinct from "bug found" (1) and config
-    errors (2) so scripts can retry or escalate appropriately."""
-    print(f"executor failure: {type(error).__name__}: {error}")
+    errors (2) so scripts can retry or escalate appropriately.  The
+    spelling is shared with ``repro serve``'s error frames (see
+    :func:`~repro.ptest.executor.executor_diagnosis`)."""
+    from repro.ptest.executor import QUARANTINE_HINT, executor_diagnosis
+
+    print(executor_diagnosis(error))
     if not quarantine_flag:
-        print(
-            "hint: rerun with --quarantine to bisect out the failing "
-            "cell(s) and complete with partial results"
-        )
+        print(QUARANTINE_HINT)
     return 3
 
 
@@ -141,58 +159,172 @@ def _print_quarantine(report) -> None:
         print(f"  quarantined: {cell.describe()}")
 
 
-def _cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.analysis.text_report import render_campaign
-    from repro.ptest.campaign import Campaign
-    from repro.ptest.pool import close_pool
+def _load_spec_file(path: str):
+    """A validated :class:`~repro.ptest.spec.CampaignSpec` from a JSON
+    file (``--spec``); I/O problems are config errors, not tracebacks."""
+    from pathlib import Path
 
-    campaign = Campaign(
+    from repro.ptest.spec import CampaignSpec
+
+    try:
+        text = Path(path).read_text()
+    except OSError as error:
+        raise ConfigError(f"cannot read spec file {path!r}: {error}")
+    return CampaignSpec.from_json(text)
+
+
+def _build_spec(args: argparse.Namespace, mode: str):
+    """The subcommand's :class:`~repro.ptest.spec.CampaignSpec` — from
+    ``--spec FILE`` when given, otherwise from the parsed flags.
+
+    ``getattr`` defaults keep embedders that call the handlers with a
+    partial namespace (bypassing argparse) on the ConfigError path
+    rather than an AttributeError.
+    """
+    from repro.ptest.spec import CampaignSpec
+
+    spec_path = getattr(args, "spec", None)
+    if spec_path is not None:
+        if args.scenario is not None:
+            raise ConfigError(
+                "give a scenario name or --spec FILE, not both"
+            )
+        spec = _load_spec_file(spec_path)
+        if spec.mode != mode:
+            raise ConfigError(
+                f"spec file {spec_path!r} has mode {spec.mode!r}; "
+                f"`repro {mode}` runs mode {mode!r} specs "
+                "(use `repro submit` to dispatch any mode)"
+            )
+        return spec
+    if args.scenario is None:
+        raise ConfigError(
+            f"`repro {mode}` needs a scenario name or --spec FILE"
+        )
+    common = dict(
+        scenario=args.scenario,
+        mode=mode,
+        params=tuple(_parse_params(args.param).items()),
+        grid=tuple(
+            (key, tuple(values))
+            for key, values in _parse_grid(args.grid).items()
+        ),
         seeds=tuple(range(args.seeds)),
         workers=args.workers,
         batch_size=args.batch_size,
-        keep_results=False,
-        cell_timeout=args.cell_timeout,
-        quarantine=args.quarantine,
+        cell_timeout=getattr(args, "cell_timeout", None),
+        quarantine=getattr(args, "quarantine", False),
     )
+    if mode == "adapt":
+        return CampaignSpec(
+            **common,
+            policy=args.policy,
+            pipeline=args.pipeline,
+            rounds=args.rounds,
+            max_sources=args.max_sources,
+            prewarm=not args.no_prewarm,
+            checkpoint=getattr(args, "checkpoint", None),
+            resume=getattr(args, "resume", False),
+        )
+    return CampaignSpec(**common)
+
+
+def _dump_spec(args: argparse.Namespace, spec) -> bool:
+    """Handle ``--dump-spec PATH``: write the spec as JSON and skip
+    execution.  Returns whether the run should stop here."""
+    path = getattr(args, "dump_spec", None)
+    if path is None:
+        return False
+    from pathlib import Path
+
+    Path(path).write_text(spec.to_json(indent=2) + "\n")
+    print(f"spec written to {path}")
+    return True
+
+
+def _print_campaign_outcome(spec, outcome) -> None:
+    from repro.analysis.text_report import render_campaign
+
+    print(
+        f"campaign: {spec.scenario} over {len(spec.seeds)} seed(s), "
+        f"workers={spec.workers}"
+        + (f", batch_size={spec.batch_size}" if spec.batch_size else "")
+    )
+    print(render_campaign(list(outcome.rows)))
+    _print_quarantine(outcome.quarantine)
+
+
+def _print_adapt_outcome(spec, outcome) -> None:
+    from repro.analysis.text_report import render_campaign
+
+    print(
+        f"adaptive campaign: {spec.scenario} x {len(spec.seeds)} seed(s), "
+        f"{outcome.schedule}, {len(outcome.rounds)}/{outcome.rounds_budget} "
+        f"round(s), workers={spec.workers}"
+        + (" [stopped early]" if outcome.stopped_early else "")
+        + (
+            f" [prewarmed {outcome.prewarmed_refs} ref(s)]"
+            if outcome.prewarmed_refs
+            else ""
+        )
+        + (
+            f" [resumed {outcome.resumed_rounds} round(s) from checkpoint]"
+            if outcome.resumed_rounds
+            else ""
+        )
+    )
+    pool_ids = outcome.pool_ids or (None,) * len(outcome.rounds)
+    for round_result, pool_id in zip(outcome.rounds, pool_ids):
+        pool_note = f" pool_id={pool_id}" if pool_id is not None else ""
+        stage_note = (
+            f" stage={round_result.stage}"
+            if round_result.stage is not None
+            else ""
+        )
+        print(
+            f"-- round {round_result.index + 1}: "
+            f"{round_result.total_detections} detection(s)"
+            f"{stage_note}{pool_note}"
+        )
+        print(render_campaign(list(round_result.rows)))
+        _print_quarantine(round_result.quarantine)
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.ptest.pool import close_pool
+    from repro.ptest.spec import execute_spec
+
     try:
-        fixed = _parse_params(args.param)
-        grid = _parse_grid(args.grid)
-        if grid:
-            campaign.add_grid(args.scenario, args.scenario, grid, **fixed)
-        else:
-            campaign.add_scenario(args.scenario, args.scenario, **fixed)
+        spec = _build_spec(args, "campaign")
     except (ReproError, ValueError) as error:
-        # ValueError covers duplicate variant names (e.g. a repeated
-        # grid value); ReproError covers registry/param problems.
+        # Contradictory knobs, malformed --param/--grid, an unreadable
+        # --spec file — config problems, caught before any pool exists.
         print(error)
         return 2
+    if _dump_spec(args, spec):
+        return 0
     try:
-        rows = campaign.run()
+        outcome = execute_spec(spec)
     except WatchdogTimeout as error:
         # Before the (ReproError, ...) -> 2 arm: a hung batch is a
         # fabric failure, not a config mistake.
-        return _executor_failure(error, args.quarantine)
+        return _executor_failure(error, spec.quarantine)
     except (BrokenProcessPool, CancelledError) as error:
-        return _executor_failure(error, args.quarantine)
+        return _executor_failure(error, spec.quarantine)
     except (ReproError, ValueError) as error:
-        # e.g. batch_size < 1, or a builder rejecting a param value at
-        # cell-build time — config problems, not found bugs.
+        # ValueError covers duplicate variant names (e.g. a repeated
+        # grid value); ReproError covers registry/param problems and
+        # builders rejecting a value at cell-build time.
         print(error)
         return 2
     finally:
-        if not args.keep_pool:
+        if not getattr(args, "keep_pool", False):
             # Deterministic teardown of this campaign's shared pool
             # only — an embedding caller's other warm pools survive.
             # With --keep-pool even this one stays warm (the atexit
             # hook reaps it eventually).
-            close_pool(args.workers)
-    print(
-        f"campaign: {args.scenario} over {args.seeds} seed(s), "
-        f"workers={args.workers}"
-        + (f", batch_size={args.batch_size}" if args.batch_size else "")
-    )
-    print(render_campaign(rows))
-    _print_quarantine(campaign.last_quarantine)
+            close_pool(spec.workers)
+    _print_campaign_outcome(spec, outcome)
     return 0
 
 
@@ -212,131 +344,114 @@ def _parse_grid(pairs: list[str] | None) -> dict[str, list[str]]:
 
 
 def _cmd_adapt(args: argparse.Namespace) -> int:
-    from repro.analysis.text_report import render_campaign
-    from repro.ptest.adaptive import POLICIES, AdaptiveCampaign
-    from repro.ptest.pipeline import parse_pipeline
     from repro.ptest.pool import close_pool
+    from repro.ptest.spec import execute_spec
 
-    if args.pipeline is not None and args.policy is not None:
-        print(
-            "--policy and --pipeline are mutually exclusive; a pipeline "
-            "is itself the policy schedule"
-        )
-        return 2
-    pipeline = None
     try:
-        # Construct inside the try: policy/param validation errors are
-        # config problems and must exit 2, not traceback.
-        replay_kwargs = {"max_sources": args.max_sources}
-        if args.pipeline is not None:
-            pipeline = parse_pipeline(
-                args.pipeline, policy_kwargs={"replay": replay_kwargs}
-            )
-            policy = pipeline
-            rounds = args.rounds
-            if rounds is None:
-                rounds = pipeline.total_rounds()
-                if rounds is None:
-                    raise ConfigError(
-                        f"pipeline {args.pipeline!r} has an unbounded "
-                        "final stage; give --rounds to cap the campaign"
-                    )
-        else:
-            policy_name = args.policy if args.policy is not None else "grid_zoom"
-            # `choices=` already filters CLI input; the lookup stays
-            # defensive for embedders calling main() with a bad name —
-            # a ConfigError listing the registry, never a KeyError.
-            factory = POLICIES.get(policy_name)
-            if factory is None:
-                raise ConfigError(
-                    f"unknown policy {policy_name!r}; "
-                    f"known policies: {', '.join(sorted(POLICIES))}"
-                )
-            policy_kwargs = (
-                replay_kwargs if policy_name == "replay" else {}
-            )
-            policy = factory(**policy_kwargs)
-            rounds = args.rounds if args.rounds is not None else 3
-        if args.resume and args.checkpoint is None:
-            raise ConfigError("--resume needs --checkpoint PATH")
-        campaign = AdaptiveCampaign(
-            seeds=tuple(range(args.seeds)),
-            rounds=rounds,
-            policy=policy,
-            workers=args.workers,
-            batch_size=args.batch_size,
-            prewarm=not args.no_prewarm,
-            cell_timeout=args.cell_timeout,
-            quarantine=args.quarantine,
-            checkpoint=args.checkpoint,
-            resume=args.resume,
-        )
-        fixed = _parse_params(args.param)
-        grid = _parse_grid(args.grid)
-        if grid:
-            campaign.add_grid(args.scenario, args.scenario, grid, **fixed)
-        else:
-            campaign.add_scenario(args.scenario, args.scenario, **fixed)
-        result = campaign.run()
+        # Construct inside the try: policy/pipeline/param validation
+        # errors are config problems and must exit 2, not traceback.
+        spec = _build_spec(args, "adapt")
+    except (ReproError, ValueError) as error:
+        print(error)
+        return 2
+    if _dump_spec(args, spec):
+        return 0
+    try:
+        outcome = execute_spec(spec)
     except WatchdogTimeout as error:
         # A hung round the watchdog could not recover — fabric failure
         # (exit 3), checked before the ReproError -> 2 arm.
-        return _executor_failure(error, args.quarantine)
+        return _executor_failure(error, spec.quarantine)
     except (BrokenProcessPool, CancelledError) as error:
-        return _executor_failure(error, args.quarantine)
+        return _executor_failure(error, spec.quarantine)
     except (ReproError, ValueError) as error:
         # Config problems (unknown scenario/param, bad grid or rounds,
         # a policy needing refs it did not get) — not found bugs.
         print(error)
         return 2
     finally:
-        if not args.keep_pool:
-            close_pool(args.workers)
-    schedule = (
-        f"pipeline={pipeline.describe()}"
-        if pipeline is not None
-        else f"policy={args.policy or 'grid_zoom'}"
-    )
-    print(
-        f"adaptive campaign: {args.scenario} x {args.seeds} seed(s), "
-        f"{schedule}, {len(result.rounds)}/{rounds} "
-        f"round(s), workers={args.workers}"
-        + (" [stopped early]" if result.stopped_early else "")
-        + (
-            f" [prewarmed {result.prewarmed_refs} ref(s)]"
-            if result.prewarmed_refs
-            else ""
-        )
-        + (
-            f" [resumed {result.resumed_rounds} round(s) from checkpoint]"
-            if result.resumed_rounds
-            else ""
-        )
-    )
-    stage_labels = dict(pipeline.stage_log) if pipeline is not None else {}
-    if pipeline is not None and pipeline.current_stage is not None:
-        # The budget-capped final round is never refined, so it misses
-        # the stage log; the stage left active is the one that ran it.
-        last_index = result.rounds[-1].index
-        stage_labels.setdefault(last_index, pipeline.current_stage.label)
-    for observation in result.rounds:
-        pool_note = (
-            f" pool_id={observation.pool_id}"
-            if observation.pool_id is not None
-            else ""
-        )
-        stage_note = (
-            f" stage={stage_labels[observation.index]}"
-            if observation.index in stage_labels
-            else ""
-        )
+        if not getattr(args, "keep_pool", False):
+            close_pool(spec.workers)
+    _print_adapt_outcome(spec, outcome)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.ptest.pool import shutdown_pools
+    from repro.serve import serve
+
+    def ready(address: tuple[str, int]) -> None:
+        host, port = address
         print(
-            f"-- round {observation.index + 1}: "
-            f"{observation.total_detections} detection(s)"
-            f"{stage_note}{pool_note}"
+            f"repro serve: listening on {host}:{port} "
+            f"(max_concurrent={args.max_concurrent}); "
+            'send {"op": "shutdown"} to drain and exit',
+            flush=True,
         )
-        print(render_campaign(list(observation.rows)))
-        _print_quarantine(observation.quarantine)
+
+    try:
+        asyncio.run(
+            serve(
+                args.host,
+                args.port,
+                max_concurrent=args.max_concurrent,
+                ready=ready,
+            )
+        )
+    except KeyboardInterrupt:
+        print("repro serve: interrupted")
+    except (ReproError, OSError) as error:
+        # Bad max_concurrent, port already bound — config problems.
+        print(error)
+        return 2
+    finally:
+        # The server process owns its warm pools; tear them down
+        # deterministically rather than leaning on the atexit hook.
+        shutdown_pools()
+    print("repro serve: drained and stopped")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.client import Client, ServerError
+
+    try:
+        spec_path = getattr(args, "spec", None)
+        if spec_path is not None:
+            if args.scenario is not None:
+                raise ConfigError(
+                    "give a scenario name or --spec FILE, not both"
+                )
+            spec = _load_spec_file(spec_path)
+        else:
+            # Flag form: the same campaign-shaped spec `repro campaign`
+            # builds (use --spec for adapt/run submissions).
+            spec = _build_spec(args, "campaign")
+    except (ReproError, ValueError) as error:
+        print(error)
+        return 2
+    if _dump_spec(args, spec):
+        return 0
+    client = Client(args.host, args.port, timeout=args.timeout)
+    try:
+        outcome = client.run(spec)
+    except ServerError as error:
+        # The server already classified the failure; mirror the local
+        # CLI's exit-code mapping (2 config, 3 executor failure).
+        print(error)
+        if error.hint:
+            print(error.hint)
+        return error.exit_code if error.exit_code is not None else 2
+    finally:
+        client.close()
+    queue_note = " [queued]" if outcome.queued else ""
+    print(f"submitted to {args.host}:{args.port}{queue_note}")
+    if spec.mode == "adapt":
+        _print_adapt_outcome(spec, outcome)
+    else:
+        _print_campaign_outcome(spec, outcome)
     return 0
 
 
@@ -486,7 +601,26 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_p = sub.add_parser(
         "campaign", help="sweep a registered scenario over seeds"
     )
-    campaign_p.add_argument("scenario", help="registered scenario name")
+    campaign_p.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="registered scenario name (or give --spec FILE)",
+    )
+    campaign_p.add_argument(
+        "--spec",
+        metavar="FILE",
+        default=None,
+        help="load the whole campaign from a CampaignSpec JSON file "
+        "instead of flags (see --dump-spec)",
+    )
+    campaign_p.add_argument(
+        "--dump-spec",
+        metavar="PATH",
+        default=None,
+        help="write the parsed CampaignSpec as JSON to PATH and exit "
+        "without running (round-trips through --spec and `repro serve`)",
+    )
     campaign_p.add_argument("--seeds", type=int, default=5)
     campaign_p.add_argument("--workers", type=int, default=1)
     campaign_p.add_argument(
@@ -539,7 +673,26 @@ def build_parser() -> argparse.ArgumentParser:
         "adapt",
         help="multi-round adaptive campaign on one warm worker pool",
     )
-    adapt_p.add_argument("scenario", help="registered scenario name")
+    adapt_p.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="registered scenario name (or give --spec FILE)",
+    )
+    adapt_p.add_argument(
+        "--spec",
+        metavar="FILE",
+        default=None,
+        help="load the whole run from a CampaignSpec JSON file "
+        "instead of flags (see --dump-spec)",
+    )
+    adapt_p.add_argument(
+        "--dump-spec",
+        metavar="PATH",
+        default=None,
+        help="write the parsed CampaignSpec as JSON to PATH and exit "
+        "without running",
+    )
     adapt_p.add_argument(
         "--rounds",
         type=int,
@@ -636,6 +789,70 @@ def build_parser() -> argparse.ArgumentParser:
         "uninterrupted run; a missing file starts fresh)",
     )
     adapt_p.set_defaults(func=_cmd_adapt)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="serve campaigns over a socket: accept CampaignSpec "
+        "requests from many clients on shared warm worker pools",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port",
+        type=int,
+        default=7341,
+        help="TCP port to listen on (0 picks a free port; default 7341)",
+    )
+    serve_p.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=4,
+        help="campaigns executing at once; excess requests queue "
+        "(never rejected) until a slot frees up",
+    )
+    serve_p.set_defaults(func=_cmd_serve)
+
+    submit_p = sub.add_parser(
+        "submit",
+        help="submit a campaign to a running `repro serve` instance",
+    )
+    submit_p.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="registered scenario name for a campaign-mode submission "
+        "(use --spec for run/adapt specs)",
+    )
+    submit_p.add_argument(
+        "--spec",
+        metavar="FILE",
+        default=None,
+        help="CampaignSpec JSON file to submit (any mode)",
+    )
+    submit_p.add_argument(
+        "--dump-spec",
+        metavar="PATH",
+        default=None,
+        help="write the parsed CampaignSpec as JSON to PATH and exit "
+        "without submitting",
+    )
+    submit_p.add_argument("--host", default="127.0.0.1")
+    submit_p.add_argument("--port", type=int, default=7341)
+    submit_p.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="per-read socket timeout in seconds",
+    )
+    submit_p.add_argument("--seeds", type=int, default=5)
+    submit_p.add_argument("--workers", type=int, default=1)
+    submit_p.add_argument("--batch-size", type=int, default=None)
+    submit_p.add_argument(
+        "--param", "-p", action="append", metavar="KEY=VALUE"
+    )
+    submit_p.add_argument(
+        "--grid", "-g", action="append", metavar="KEY=V1,V2,..."
+    )
+    submit_p.set_defaults(func=_cmd_submit)
 
     scenarios_p = sub.add_parser(
         "scenarios", help="list the scenario registry"

@@ -1,0 +1,280 @@
+"""``repro.client``: blocking stdlib-socket client for ``repro serve``.
+
+The thin side of the campaign-as-a-service split: a
+:class:`~repro.ptest.spec.CampaignSpec` goes out as one JSON line, the
+server's frames come back line by line, and :meth:`Client.run` rebuilds
+them into a :class:`RemoteOutcome` whose ``rounds`` compare *equal* to
+a direct :func:`~repro.ptest.spec.execute_spec` of the same spec — the
+serve bit-identity contract, exercised end to end by
+``tests/test_serve_client.py`` and ``examples/serve_client.py``.
+
+Server-reported failures surface as :class:`ServerError` carrying the
+structured frame's kind (``config`` / ``executor`` / ``protocol``),
+the CLI-equivalent exit code, and any hint — so embedders branch on
+the same taxonomy whether the campaign ran locally or remotely.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import ReproError
+from repro.ptest.campaign import CampaignRow, DetectionSample
+from repro.ptest.executor import QuarantineReport
+from repro.ptest.spec import CampaignSpec, RoundResult, round_from_dict
+
+DEFAULT_PORT = 7341
+
+
+class ServerError(ReproError):
+    """A structured ``error`` frame, raised client-side.
+
+    ``exit_code`` mirrors the CLI mapping (2 config, 3 executor
+    failure); ``hint`` carries the server's remediation line (e.g. the
+    quarantine hint) when one was attached.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str = "error",
+        exit_code: int | None = None,
+        hint: str | None = None,
+    ):
+        super().__init__(message)
+        self.kind = kind
+        self.exit_code = exit_code
+        self.hint = hint
+
+
+@dataclass(frozen=True)
+class CellEvent:
+    """One streamed ``cell`` frame (``stream_cells=True`` requests):
+    per-cell progress in submission order."""
+
+    variant: str
+    seed: int
+    found_bug: bool
+    kind: str | None
+
+
+@dataclass
+class RemoteOutcome:
+    """What one remote request produced, rebuilt from the wire.
+
+    ``rounds`` is the bit-identity payload —
+    :class:`~repro.ptest.spec.RoundResult` values equal to a direct
+    run's.  The rest is server telemetry: admission info from the
+    ``accepted`` frame, pool ids from the ``done`` frame (process-local
+    to the *server*, so never part of equality).
+    """
+
+    spec: CampaignSpec
+    rounds: tuple[RoundResult, ...]
+    stopped_early: bool = False
+    pool_ids: tuple[int | None, ...] = ()
+    prewarmed_refs: int = 0
+    resumed_rounds: int = 0
+    rounds_budget: int = 0
+    schedule: str = ""
+    queued: bool = False
+    queue_depth: int = 0
+    cells: tuple[CellEvent, ...] = field(default=())
+
+    @property
+    def rows(self) -> tuple[CampaignRow, ...]:
+        return self.rounds[-1].rows if self.rounds else ()
+
+    @property
+    def detections(self) -> tuple[DetectionSample, ...]:
+        return tuple(
+            sample for round_ in self.rounds for sample in round_.detections
+        )
+
+    @property
+    def quarantine(self) -> QuarantineReport | None:
+        return self.rounds[-1].quarantine if self.rounds else None
+
+    @property
+    def total_detections(self) -> int:
+        return sum(round_.total_detections for round_ in self.rounds)
+
+
+class Client:
+    """Blocking NDJSON client for a :mod:`repro.serve` server.
+
+    Pure stdlib sockets — usable from scripts, tests and the ``repro
+    submit`` subcommand without touching asyncio.  Connects lazily on
+    first use; ``connect_timeout`` bounds how long to keep retrying the
+    initial connection (covers the start-the-server-then-connect race
+    in scripts), ``timeout`` bounds each subsequent read.  Context
+    manager; one in-flight request per client instance.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        *,
+        timeout: float = 300.0,
+        connect_timeout: float = 10.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._request_seq = 0
+
+    # -- plumbing ----------------------------------------------------
+
+    def connect(self) -> None:
+        if self._sock is not None:
+            return
+        deadline = time.monotonic() + self.connect_timeout
+        while True:
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise ServerError(
+                        f"cannot connect to repro server at "
+                        f"{self.host}:{self.port} within "
+                        f"{self.connect_timeout}s; is `repro serve` running?",
+                        kind="connect",
+                    ) from None
+                time.sleep(0.05)
+        self._file = self._sock.makefile("rb")
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "Client":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _send(self, payload: dict[str, Any]) -> None:
+        self.connect()
+        self._sock.sendall(json.dumps(payload).encode() + b"\n")
+
+    def _recv(self) -> dict[str, Any]:
+        line = self._file.readline()
+        if not line:
+            raise ServerError(
+                "server closed the connection mid-request", kind="connect"
+            )
+        return json.loads(line)
+
+    def _next_id(self) -> str:
+        self._request_seq += 1
+        return f"c{self._request_seq}"
+
+    # -- operations --------------------------------------------------
+
+    def ping(self) -> bool:
+        self._send({"op": "ping", "id": self._next_id()})
+        return self._recv().get("type") == "pong"
+
+    def status(self) -> dict[str, Any]:
+        """Server telemetry: active/queued/served counts and the
+        per-width shared-pool snapshot."""
+        self._send({"op": "status", "id": self._next_id()})
+        return self._recv()
+
+    def shutdown_server(self) -> dict[str, Any]:
+        """Ask the server to drain in-flight requests and exit."""
+        self._send({"op": "shutdown", "id": self._next_id()})
+        return self._recv()
+
+    def stream(
+        self, spec: CampaignSpec, *, stream_cells: bool = False
+    ) -> Iterator[dict[str, Any]]:
+        """Submit ``spec``; yield raw frames through ``done``/``error``.
+
+        The low-level hook for progress displays; most callers want
+        :meth:`run`, which consumes this and rebuilds the outcome.
+        """
+        request_id = self._next_id()
+        self._send(
+            {
+                "op": "run",
+                "id": request_id,
+                "spec": spec.to_dict(),
+                "stream_cells": stream_cells,
+            }
+        )
+        while True:
+            frame = self._recv()
+            yield frame
+            if frame.get("type") in ("done", "error"):
+                return
+
+    def run(
+        self, spec: CampaignSpec, *, stream_cells: bool = False
+    ) -> RemoteOutcome:
+        """Execute ``spec`` on the server; block until done.
+
+        Raises :class:`ServerError` on an ``error`` frame (config
+        mistakes, executor failures — same taxonomy as CLI exit codes).
+        """
+        rounds: list[RoundResult] = []
+        cells: list[CellEvent] = []
+        queued = False
+        queue_depth = 0
+        for frame in self.stream(spec, stream_cells=stream_cells):
+            kind = frame.get("type")
+            if kind == "accepted":
+                queued = frame.get("queued", False)
+                queue_depth = frame.get("queue_depth", 0)
+            elif kind == "cell":
+                cells.append(
+                    CellEvent(
+                        variant=frame["variant"],
+                        seed=frame["seed"],
+                        found_bug=frame["found_bug"],
+                        kind=frame.get("kind"),
+                    )
+                )
+            elif kind == "round":
+                rounds.append(round_from_dict(frame["round"]))
+            elif kind == "error":
+                raise ServerError(
+                    frame.get("message", "unknown server error"),
+                    kind=frame.get("kind", "error"),
+                    exit_code=frame.get("exit_code"),
+                    hint=frame.get("hint"),
+                )
+            elif kind == "done":
+                return RemoteOutcome(
+                    spec=spec,
+                    rounds=tuple(rounds),
+                    stopped_early=frame.get("stopped_early", False),
+                    pool_ids=tuple(frame.get("pool_ids", ())),
+                    prewarmed_refs=frame.get("prewarmed_refs", 0),
+                    resumed_rounds=frame.get("resumed_rounds", 0),
+                    rounds_budget=frame.get("rounds_budget", len(rounds)),
+                    schedule=frame.get("schedule", ""),
+                    queued=queued,
+                    queue_depth=queue_depth,
+                    cells=tuple(cells),
+                )
+        raise ServerError(
+            "stream ended without a done frame", kind="protocol"
+        )  # pragma: no cover - stream() always ends on done/error

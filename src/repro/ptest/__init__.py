@@ -30,6 +30,10 @@ the simulated OMAP platform:
   replay once detections plateau) and is itself a ``RefinePolicy``,
   with cross-round pre-warming keeping the pool's caches hot between
   stages.
+* :mod:`repro.ptest.spec` — the frozen, JSON-serializable
+  ``CampaignSpec`` request schema and ``execute_spec``, the single
+  execution entry point shared by the CLI subcommands, ``repro serve``
+  and :mod:`repro.client`.
 """
 
 from repro.ptest.config import PTestConfig
@@ -99,6 +103,12 @@ from repro.ptest.replay import (
     replay_ref,
     replay_report_dict,
 )
+from repro.ptest.spec import (
+    CampaignSpec,
+    RoundResult,
+    SpecOutcome,
+    execute_spec,
+)
 from repro.ptest.pcore_model import (
     PCORE_REGULAR_EXPRESSION,
     PCORE_SERVICES,
@@ -167,6 +177,10 @@ __all__ = [
     "shutdown_pools",
     "IncrementalWaitForGraph",
     "find_cycle_edges",
+    "CampaignSpec",
+    "RoundResult",
+    "SpecOutcome",
+    "execute_spec",
     "ReplayRef",
     "parse_merged_description",
     "replay_ref",

@@ -54,7 +54,15 @@ from the policy seed and round/sample indices alone).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Protocol, Sequence, runtime_checkable
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Mapping,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 from pathlib import Path
 
@@ -554,6 +562,13 @@ class AdaptiveCampaign:
     #: equality-checked before reuse); disable to measure cold
     #: round-start cost, or when rounds rarely introduce new refs.
     prewarm: bool = True
+    #: Incremental round delivery: called with each
+    #: :class:`RoundObservation` the moment it lands — executed *and*
+    #: checkpoint-replayed rounds alike, before the policy refines it —
+    #: so streaming consumers (``repro serve``) ship rounds as they
+    #: complete instead of waiting for the whole schedule.  Purely
+    #: observational; results cannot change.
+    on_round: "Callable[[RoundObservation], None] | None" = None
 
     def add_variant(self, name: str, builder: ScenarioBuilder) -> None:
         """Register a round-1 variant under ``name``."""
@@ -634,6 +649,8 @@ class AdaptiveCampaign:
                     break  # budget shrank below the stored progress
                 observations.append(observation)
                 resumed_rounds += 1
+                if self.on_round is not None:
+                    self.on_round(observation)
                 if len(observations) == self.rounds:
                     break
                 refined = policy.refine(observation)
@@ -684,6 +701,8 @@ class AdaptiveCampaign:
                 quarantine=campaign.last_quarantine,
             )
             observations.append(observation)
+            if self.on_round is not None:
+                self.on_round(observation)
             final = index + 1 == self.rounds
             if store is not None:
                 # Atomic per-round persistence: a crash after this

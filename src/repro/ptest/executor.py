@@ -237,6 +237,35 @@ class QuarantineReport:
         )
 
 
+#: Exception types that mean "the execution fabric died or hung", as
+#: opposed to a configuration mistake or a found bug — the CLI maps
+#: them to exit 3 and ``repro serve`` to ``kind="executor"`` error
+#: frames, both via :func:`executor_diagnosis`.
+EXECUTOR_FAILURES: tuple[type[BaseException], ...] = (
+    WatchdogTimeout,
+    BrokenProcessPool,
+    CancelledError,
+)
+
+
+def executor_diagnosis(error: BaseException) -> str:
+    """One-line, traceback-free diagnosis of a fabric failure.
+
+    The shared spelling between the CLI's exit-3 message and the
+    server's structured error frames, so scripts can match on one
+    format wherever the campaign ran.
+    """
+    return f"executor failure: {type(error).__name__}: {error}"
+
+
+#: The hint both front-ends attach when a fabric failure aborts a run
+#: that had quarantine off.
+QUARANTINE_HINT = (
+    "hint: rerun with --quarantine to bisect out the failing "
+    "cell(s) and complete with partial results"
+)
+
+
 @dataclass
 class CellExecutor:
     """Runs campaign cells, serially or across worker processes.

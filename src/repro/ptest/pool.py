@@ -420,6 +420,29 @@ def active_pools() -> list[WorkerPool]:
         return list(_SHARED.values())
 
 
+def pool_telemetry() -> list[dict[str, Any]]:
+    """Observability snapshot of every registered shared pool.
+
+    One JSON-safe mapping per pool — worker width, live ``pool_id``
+    (``None`` while cold), ``spawns`` count and prewarmed-ref total —
+    for status endpoints (``repro serve``) and dashboards.  ``spawns``
+    staying at 1 per width is how a server process certifies the
+    one-pool-per-worker-count invariant.
+    """
+    with _SHARED_LOCK:
+        pools = sorted(_SHARED.items())
+    return [
+        {
+            "workers": workers,
+            "pool_id": pool.pool_id,
+            "spawns": pool.spawns,
+            "prewarmed_refs": pool.prewarmed_refs,
+            "closed": pool.closed,
+        }
+        for workers, pool in pools
+    ]
+
+
 def close_pool(workers: int, wait: bool = True) -> None:
     """Close and deregister the shared pool for ``workers``, if any.
 

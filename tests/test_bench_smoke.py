@@ -149,6 +149,21 @@ class TestCiFloors:
             f"{speedup}x < {floor}x"
         )
 
+    def test_serve_floor(self, report):
+        # The bit-identity of served rows is asserted inside the bench
+        # itself on any hardware; the warm-vs-cold-process ratio needs
+        # real parallelism to be a startup-amortisation measurement.
+        if report["serve"]["skipped_parallel_floor"]:
+            pytest.skip(
+                "single core: clients contend with the workers"
+            )
+        speedup = report["serve"]["speedup"]
+        floor = report["criteria"]["serve_ci_floor"]
+        assert speedup >= floor, (
+            f"warm-server request speedup regressed: "
+            f"{speedup}x < {floor}x"
+        )
+
     def test_report_names_this_machine(self, report):
         assert report["quick"] is True
         assert report["machine"]["cpu_count"] == os.cpu_count()

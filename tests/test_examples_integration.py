@@ -105,3 +105,12 @@ def test_fault_tolerant_campaign():
     assert "phil seed=3: timeout" in output
     assert "deadlock detection(s)" in output
     assert "bit-identical" in output
+
+
+def test_serve_client():
+    output = run_example("serve_client.py")
+    assert "server: listening on" in output
+    assert "client 2:" in output  # all three clients reported
+    assert "one pool spawn per worker count: True" in output
+    assert "all clients bit-identical: True" in output
+    assert "server drained and stopped" in output
